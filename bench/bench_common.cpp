@@ -1,0 +1,140 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace coopbench
+{
+
+using namespace coopsim;
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> schemes = {
+        Scheme::Unmanaged, Scheme::FairShare, Scheme::DynamicCpe,
+        Scheme::Ucp, Scheme::Cooperative,
+    };
+    return schemes;
+}
+
+RunOptions
+optionsFromArgs(int argc, char **argv)
+{
+    RunOptions options;
+    options.scale = sim::scaleFromArgs(argc, argv);
+    if (options.scale == sim::RunScale::Paper) {
+        std::printf("# scale: paper (1B insts/app, 5M-cycle epochs)\n");
+    } else {
+        std::printf("# scale: bench miniature (use --full for paper "
+                    "scale)\n");
+    }
+    return options;
+}
+
+void
+printNormalisedTable(const std::string &title,
+                     const std::vector<WorkloadGroup> &groups,
+                     const Metric &metric, const RunOptions &options,
+                     bool higher_better)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("# normalised to Fair Share; %s is better\n",
+                higher_better ? "higher" : "lower");
+    std::printf("%-8s", "group");
+    for (const Scheme s : allSchemes()) {
+        std::printf(" %12s", llc::schemeName(s));
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<double>> norms(allSchemes().size());
+    for (const WorkloadGroup &group : groups) {
+        const double baseline =
+            metric(Scheme::FairShare, group, options);
+        std::printf("%-8s", group.name.c_str());
+        for (std::size_t i = 0; i < allSchemes().size(); ++i) {
+            const double value =
+                metric(allSchemes()[i], group, options);
+            const double norm = sim::normalizeTo(value, baseline);
+            norms[i].push_back(norm);
+            std::printf(" %12.3f", norm);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-8s", "AVG");
+    for (std::size_t i = 0; i < allSchemes().size(); ++i) {
+        std::printf(" %12.3f", stats::geomean(norms[i]));
+    }
+    std::printf("\n");
+}
+
+double
+speedupMetric(Scheme scheme, const WorkloadGroup &group,
+              const RunOptions &options)
+{
+    return sim::groupWeightedSpeedup(scheme, group, options);
+}
+
+double
+dynamicEnergyMetric(Scheme scheme, const WorkloadGroup &group,
+                    const RunOptions &options)
+{
+    return sim::runGroup(scheme, group, options).dynamic_energy_nj;
+}
+
+double
+staticEnergyMetric(Scheme scheme, const WorkloadGroup &group,
+                   const RunOptions &options)
+{
+    return sim::runGroup(scheme, group, options).static_energy_nj;
+}
+
+const std::vector<double> &
+thresholdSweep()
+{
+    static const std::vector<double> sweep = {0.0, 0.01, 0.05, 0.1,
+                                              0.2};
+    return sweep;
+}
+
+void
+printThresholdTable(
+    const std::string &title,
+    const std::function<double(const WorkloadGroup &,
+                               const RunOptions &)> &metric,
+    const RunOptions &base_options)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("# Cooperative Partitioning, normalised to T = 0\n");
+    std::printf("%-8s", "group");
+    for (const double t : thresholdSweep()) {
+        std::printf("       T=%4.2f", t);
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<double>> norms(thresholdSweep().size());
+    for (const WorkloadGroup &group : trace::twoCoreGroups()) {
+        RunOptions zero = base_options;
+        zero.threshold = 0.0;
+        const double baseline = metric(group, zero);
+        std::printf("%-8s", group.name.c_str());
+        for (std::size_t i = 0; i < thresholdSweep().size(); ++i) {
+            RunOptions options = base_options;
+            options.threshold = thresholdSweep()[i];
+            const double norm =
+                sim::normalizeTo(metric(group, options), baseline);
+            norms[i].push_back(norm);
+            std::printf(" %12.3f", norm);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-8s", "AVG");
+    for (std::size_t i = 0; i < thresholdSweep().size(); ++i) {
+        std::printf(" %12.3f", stats::geomean(norms[i]));
+    }
+    std::printf("\n");
+}
+
+} // namespace coopbench

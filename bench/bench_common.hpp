@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: argument
+ * parsing, the scheme list, and table printers in the layout of the
+ * paper's figures (one row per workload group, one column per scheme,
+ * normalised to Fair Share, geometric-mean AVG row).
+ */
+
+#ifndef COOPSIM_BENCH_COMMON_HPP
+#define COOPSIM_BENCH_COMMON_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace coopbench
+{
+
+using coopsim::llc::Scheme;
+using coopsim::sim::RunOptions;
+using coopsim::sim::RunResult;
+using coopsim::trace::WorkloadGroup;
+
+/** The five schemes in the paper's legend order. */
+const std::vector<Scheme> &allSchemes();
+
+/** Parses --full / --scale=... and returns ready RunOptions. */
+RunOptions optionsFromArgs(int argc, char **argv);
+
+/** Metric extracted from one (scheme, group) run. */
+using Metric = std::function<double(Scheme, const WorkloadGroup &,
+                                    const RunOptions &)>;
+
+/**
+ * Prints a figure-style table: rows = groups (+ AVG geomean), columns
+ * = schemes, every cell normalised to the FairShare column.
+ *
+ * @param title        Figure title line.
+ * @param groups       Workload groups (G2-* or G4-*).
+ * @param metric       Raw metric (normalisation applied here).
+ * @param higher_better Annotates the direction in the header.
+ */
+void printNormalisedTable(const std::string &title,
+                          const std::vector<WorkloadGroup> &groups,
+                          const Metric &metric,
+                          const RunOptions &options, bool higher_better);
+
+/** Weighted-speedup metric (Equation 1). */
+double speedupMetric(Scheme scheme, const WorkloadGroup &group,
+                     const RunOptions &options);
+
+/** The paper's dynamic-energy metric (tag side + monitors + drains). */
+double dynamicEnergyMetric(Scheme scheme, const WorkloadGroup &group,
+                           const RunOptions &options);
+
+/** Static (leakage) energy metric. */
+double staticEnergyMetric(Scheme scheme, const WorkloadGroup &group,
+                          const RunOptions &options);
+
+/**
+ * Prints a threshold-sweep table (Figs 11-13): rows = groups, columns
+ * = T values, normalised to T = 0, Cooperative only.
+ */
+void printThresholdTable(
+    const std::string &title,
+    const std::function<double(const WorkloadGroup &,
+                               const RunOptions &)> &metric,
+    const RunOptions &base_options);
+
+/** The T values of the paper's sensitivity study. */
+const std::vector<double> &thresholdSweep();
+
+} // namespace coopbench
+
+#endif // COOPSIM_BENCH_COMMON_HPP

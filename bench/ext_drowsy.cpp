@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Extension bench (DESIGN.md §8): gated-Vdd vs drowsy static-energy
+ * saving for Cooperative Partitioning.
+ *
+ * The paper uses gated-Vdd (non state-preserving) for unowned ways and
+ * cites Kedzierski et al.'s drowsy alternative as composable future
+ * work. Drowsy keeps a way's contents at ~25% of the leakage, so a way
+ * that bounces off and back on before its lines are overwritten warms
+ * up for free; gated-Vdd leaks nothing but always refills from DRAM.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace coopsim;
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+
+    std::printf("Extension: gated-Vdd vs drowsy gating "
+                "(Cooperative)\n");
+    std::printf("%-8s %-10s %10s %12s %12s %10s\n", "group", "gating",
+                "w.speedup", "dyn(mJ)", "stat(mJ)", "misses");
+
+    for (const char *name : {"G2-2", "G2-4", "G2-7", "G2-12"}) {
+        const auto &group = trace::groupByName(name);
+        for (const llc::GatingMode mode :
+             {llc::GatingMode::GatedVdd, llc::GatingMode::Drowsy}) {
+            sim::SystemConfig config = sim::makeTwoCoreConfig(
+                llc::Scheme::Cooperative, options.scale);
+            config.llc.gating = mode;
+            config.seed = options.seed;
+            sim::System system(config, trace::groupProfiles(group));
+            const sim::RunResult r = system.run();
+
+            double ws = 0.0;
+            for (std::size_t i = 0; i < group.apps.size(); ++i) {
+                ws += r.apps[i].ipc /
+                      sim::soloIpc(group.apps[i], 2, options);
+            }
+            std::uint64_t misses = 0;
+            for (const auto &app : r.apps) {
+                misses += app.llc_misses;
+            }
+            std::printf("%-8s %-10s %10.3f %12.4f %12.4f %10llu\n",
+                        name,
+                        mode == llc::GatingMode::GatedVdd ? "gatedVdd"
+                                                          : "drowsy",
+                        ws, r.dynamic_energy_nj * 1e-6,
+                        r.static_energy_nj * 1e-6,
+                        static_cast<unsigned long long>(misses));
+        }
+    }
+    std::printf("# drowsy trades residual leakage (~25%% per dark "
+                "way) for fewer refill\n# misses when ways bounce "
+                "off/on across phases.\n");
+    return 0;
+}

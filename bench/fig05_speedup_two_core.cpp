@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 5: weighted speedup of the fourteen
+ * two-application workloads under all five schemes, normalised to
+ * Fair Share (geometric-mean AVG).
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printNormalisedTable(
+        "Figure 5: weighted speedup, two-application workloads",
+        coopsim::trace::twoCoreGroups(), coopbench::speedupMetric,
+        options, /*higher_better=*/true);
+    return 0;
+}

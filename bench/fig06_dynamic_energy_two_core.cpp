@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Figure 6: dynamic energy consumption of the two-
+ * application workloads, normalised to Fair Share. Expected shape:
+ * Unmanaged ~2.0, UCP ~2.04 (monitor overhead), Cooperative lowest.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printNormalisedTable(
+        "Figure 6: dynamic energy, two-application workloads",
+        coopsim::trace::twoCoreGroups(),
+        coopbench::dynamicEnergyMetric, options,
+        /*higher_better=*/false);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Figure 7: static (leakage) energy of the two-application
+ * workloads, normalised to Fair Share. Only the way-gating schemes
+ * (Cooperative, Dynamic CPE) save static energy.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printNormalisedTable(
+        "Figure 7: static energy, two-application workloads",
+        coopsim::trace::twoCoreGroups(),
+        coopbench::staticEnergyMetric, options,
+        /*higher_better=*/false);
+    return 0;
+}

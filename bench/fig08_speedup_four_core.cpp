@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Figure 8: weighted speedup of the fourteen four-
+ * application workloads (4 MB, 16-way LLC), normalised to Fair Share.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printNormalisedTable(
+        "Figure 8: weighted speedup, four-application workloads",
+        coopsim::trace::fourCoreGroups(), coopbench::speedupMetric,
+        options, /*higher_better=*/true);
+    return 0;
+}

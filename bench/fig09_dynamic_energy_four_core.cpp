@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Figure 9: dynamic energy of the four-application
+ * workloads, normalised to Fair Share (Unmanaged/UCP ~4x).
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printNormalisedTable(
+        "Figure 9: dynamic energy, four-application workloads",
+        coopsim::trace::fourCoreGroups(),
+        coopbench::dynamicEnergyMetric, options,
+        /*higher_better=*/false);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Figure 10: static energy of the four-application
+ * workloads, normalised to Fair Share.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printNormalisedTable(
+        "Figure 10: static energy, four-application workloads",
+        coopsim::trace::fourCoreGroups(),
+        coopbench::staticEnergyMetric, options,
+        /*higher_better=*/false);
+    return 0;
+}

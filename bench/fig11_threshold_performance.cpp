@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 11: impact of the takeover threshold T on the
+ * weighted speedup of the two-application workloads, normalised to
+ * T = 0 (UCP-like allocation). Expected: T <= 0.05 costs nothing;
+ * T = 0.1 / 0.2 lose performance.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printThresholdTable(
+        "Figure 11: takeover threshold vs weighted speedup",
+        [](const coopbench::WorkloadGroup &group,
+           const coopbench::RunOptions &opts) {
+            return coopsim::sim::groupWeightedSpeedup(
+                coopsim::llc::Scheme::Cooperative, group, opts);
+        },
+        options);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 12: impact of the takeover threshold T on dynamic
+ * energy, normalised to T = 0. Larger T gates more ways and probes
+ * fewer tags, so energy falls as T rises.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printThresholdTable(
+        "Figure 12: takeover threshold vs dynamic energy",
+        [](const coopbench::WorkloadGroup &group,
+           const coopbench::RunOptions &opts) {
+            return coopsim::sim::runGroup(
+                       coopsim::llc::Scheme::Cooperative, group, opts)
+                .dynamic_energy_nj;
+        },
+        options);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Reproduces Figure 13: impact of the takeover threshold T on static
+ * energy, normalised to T = 0.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopbench::printThresholdTable(
+        "Figure 13: takeover threshold vs static energy",
+        [](const coopbench::WorkloadGroup &group,
+           const coopbench::RunOptions &opts) {
+            return coopsim::sim::runGroup(
+                       coopsim::llc::Scheme::Cooperative, group, opts)
+                .static_energy_nj;
+        },
+        options);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Microbenchmarks of the partitioning algorithms (google-benchmark).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "partition/lookahead.hpp"
+#include "partition/transition_plan.hpp"
+
+using namespace coopsim;
+using namespace coopsim::partition;
+
+namespace
+{
+
+std::vector<AppDemand>
+randomDemands(std::uint32_t apps, std::uint32_t ways,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<AppDemand> demands;
+    for (std::uint32_t a = 0; a < apps; ++a) {
+        AppDemand d;
+        d.accesses = 10000.0;
+        double misses = d.accesses;
+        d.miss_curve.push_back(misses);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            misses -= rng.nextDouble() * 800.0;
+            misses = std::max(misses, 0.0);
+            d.miss_curve.push_back(misses);
+        }
+        demands.push_back(std::move(d));
+    }
+    return demands;
+}
+
+} // namespace
+
+static void
+BM_LookaheadPartition(benchmark::State &state)
+{
+    const auto apps = static_cast<std::uint32_t>(state.range(0));
+    const auto ways = static_cast<std::uint32_t>(state.range(1));
+    const auto demands = randomDemands(apps, ways, 42);
+    LookaheadConfig config;
+    config.threshold = 0.05;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lookaheadPartition(demands, ways, config));
+    }
+}
+BENCHMARK(BM_LookaheadPartition)
+    ->Args({2, 8})
+    ->Args({4, 16})
+    ->Args({8, 32});
+
+static void
+BM_PlanTransition(benchmark::State &state)
+{
+    const auto cores = static_cast<std::uint32_t>(state.range(0));
+    const auto ways = static_cast<std::uint32_t>(state.range(1));
+    std::vector<std::vector<WayId>> owned(cores);
+    for (WayId w = 0; w < ways; ++w) {
+        owned[w % cores].push_back(w);
+    }
+    std::vector<std::uint32_t> target(cores, ways / cores);
+    // Rotate one way around the cores to force transfers.
+    target[0] += 1;
+    target[cores - 1] -= 1;
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            planTransition(owned, {}, target, rng));
+    }
+}
+BENCHMARK(BM_PlanTransition)->Args({2, 8})->Args({4, 16});

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 3: per-benchmark LLC misses per kilo-instruction
+ * (MPKI), measured by running each synthetic benchmark alone on the
+ * two-core LLC organisation, with its High/Medium/Low classification.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace coopsim;
+    const auto options = coopbench::optionsFromArgs(argc, argv);
+
+    std::printf("Table 3: workload classification by MPKI\n");
+    std::printf("%-12s %10s %10s %8s %8s\n", "benchmark", "measured",
+                "paper", "class", "match");
+
+    int matches = 0;
+    const auto &apps = trace::allSpecApps();
+    for (const std::string &name : apps) {
+        sim::SystemConfig config = sim::makeTwoCoreConfig(
+            llc::Scheme::Unmanaged, options.scale);
+        config.num_cores = 1;
+        config.llc.num_cores = 1;
+        config.seed = options.seed;
+        sim::System system(config, {trace::specProfile(name)});
+        const sim::RunResult r = system.run();
+        const double mpki = r.apps[0].mpki;
+        const auto cls = trace::classifyMpki(mpki);
+        const auto paper_cls = trace::mpkiClassOf(name);
+        const bool match = cls == paper_cls;
+        matches += match ? 1 : 0;
+        std::printf("%-12s %10.2f %10.2f %8s %8s\n", name.c_str(),
+                    mpki, trace::specProfile(name).table3_mpki,
+                    trace::mpkiClassName(cls), match ? "yes" : "NO");
+    }
+    std::printf("# class matches: %d / %zu\n", matches, apps.size());
+    return 0;
+}

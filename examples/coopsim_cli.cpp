@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Command-line driver: run any scheme on any Table 4 workload group
+ * with configurable threshold/seed/scale, and print either a full
+ * stat dump or a CSV row — the entry point for scripting custom
+ * experiments on top of the library.
+ *
+ * Usage:
+ *   coopsim_cli [--scheme=NAME] [--group=G2-3] [--threshold=0.05]
+ *               [--seed=N] [--csv] [--full|--scale=test]
+ *
+ * Schemes: unmanaged fairshare cpe ucp coop (default coop).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace coopsim;
+
+namespace
+{
+
+llc::Scheme
+parseScheme(const std::string &name)
+{
+    if (name == "unmanaged") {
+        return llc::Scheme::Unmanaged;
+    }
+    if (name == "fairshare") {
+        return llc::Scheme::FairShare;
+    }
+    if (name == "cpe") {
+        return llc::Scheme::DynamicCpe;
+    }
+    if (name == "ucp") {
+        return llc::Scheme::Ucp;
+    }
+    if (name == "coop") {
+        return llc::Scheme::Cooperative;
+    }
+    std::fprintf(stderr, "unknown scheme '%s' (use unmanaged, "
+                         "fairshare, cpe, ucp or coop)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+bool
+takeValue(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) == 0) {
+        out = arg + len;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scheme_name = "coop";
+    std::string group_name = "G2-3";
+    std::string value;
+    bool csv = false;
+
+    sim::RunOptions options;
+    options.scale = sim::scaleFromArgs(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (takeValue(arg, "--scheme=", value)) {
+            scheme_name = value;
+        } else if (takeValue(arg, "--group=", value)) {
+            group_name = value;
+        } else if (takeValue(arg, "--threshold=", value)) {
+            options.threshold = std::stod(value);
+        } else if (takeValue(arg, "--seed=", value)) {
+            options.seed = std::stoull(value);
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            csv = true;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("usage: coopsim_cli [--scheme=coop] "
+                        "[--group=G2-3] [--threshold=0.05] [--seed=N] "
+                        "[--csv] [--full]\n");
+            return 0;
+        }
+    }
+
+    const llc::Scheme scheme = parseScheme(scheme_name);
+    const trace::WorkloadGroup &group = trace::groupByName(group_name);
+    const sim::RunResult &result =
+        sim::runGroup(scheme, group, options);
+    const double ws =
+        sim::groupWeightedSpeedup(scheme, group, options);
+
+    if (csv) {
+        std::printf("%s\n%s\n", sim::csvHeader().c_str(),
+                    sim::csvRow(llc::schemeName(scheme), group.name,
+                                result, ws)
+                        .c_str());
+        return 0;
+    }
+
+    std::printf("# %s on %s (T=%.2f, seed=%llu)\n",
+                llc::schemeName(scheme), group.name.c_str(),
+                options.threshold,
+                static_cast<unsigned long long>(options.seed));
+    std::printf("weighted_speedup %f\n%s", ws,
+                sim::formatRunResult(result, "run").c_str());
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Explores the paper's central trade-off for one workload: sweep the
+ * turn-off threshold T and print performance against dynamic/static
+ * energy, so the "knee" at T = 0.05 (the paper's default) is visible.
+ *
+ * Usage: energy_explorer [group] [--full]   (default G2-2)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/runner.hpp"
+
+using namespace coopsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string group_name = "G2-2";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] != '-') {
+            group_name = arg;
+        }
+    }
+    const trace::WorkloadGroup &group = trace::groupByName(group_name);
+
+    sim::RunOptions base;
+    base.scale = sim::scaleFromArgs(argc, argv);
+
+    // Fair Share reference for the energy normalisation.
+    const sim::RunResult &fair =
+        sim::runGroup(llc::Scheme::FairShare, group, base);
+    const double fair_ws = sim::groupWeightedSpeedup(
+        llc::Scheme::FairShare, group, base);
+
+    std::printf("threshold sweep for %s (values normalised to "
+                "Fair Share)\n\n",
+                group.name.c_str());
+    std::printf("%8s %12s %12s %12s %10s %8s\n", "T", "w.speedup",
+                "dynamic", "static", "ways/acc", "offways");
+
+    for (const double t :
+         {0.0, 0.01, 0.02, 0.05, 0.08, 0.1, 0.15, 0.2}) {
+        sim::RunOptions options = base;
+        options.threshold = t;
+        const sim::RunResult &r =
+            sim::runGroup(llc::Scheme::Cooperative, group, options);
+        const double ws = sim::groupWeightedSpeedup(
+            llc::Scheme::Cooperative, group, options);
+
+        // Average powered ways back-computed from the leakage ratio.
+        const double powered_ratio =
+            (r.static_energy_nj / static_cast<double>(r.total_cycles)) /
+            (fair.static_energy_nj /
+             static_cast<double>(fair.total_cycles));
+        const double ways =
+            static_cast<double>(8); // two-core LLC associativity
+        std::printf("%8.2f %12.3f %12.3f %12.3f %10.2f %8.1f\n", t,
+                    ws / fair_ws,
+                    r.dynamic_energy_nj / fair.dynamic_energy_nj,
+                    r.static_energy_nj / fair.static_energy_nj,
+                    r.avg_ways_probed,
+                    ways * (1.0 - powered_ratio));
+    }
+
+    std::printf("\nThe paper selects T = 0.05: the largest threshold "
+                "with (near) zero\nperformance loss. Larger T values "
+                "buy energy with real slowdowns\n(Figures 11-13).\n");
+    return 0;
+}

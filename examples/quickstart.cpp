@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: build the paper's two-core system, run one workload
+ * group under every partitioning scheme, and print the headline
+ * numbers (weighted speedup, energy, ways probed).
+ *
+ * Usage: quickstart [group] [--full]
+ *   group  a Table 4 name such as G2-3 (default) or G4-8.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/runner.hpp"
+
+using namespace coopsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string group_name = "G2-3";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] != '-') {
+            group_name = arg;
+        }
+    }
+
+    sim::RunOptions options;
+    options.scale = sim::scaleFromArgs(argc, argv);
+
+    const trace::WorkloadGroup &group = trace::groupByName(group_name);
+    std::printf("workload %s:", group.name.c_str());
+    for (const auto &app : group.apps) {
+        std::printf(" %s", app.c_str());
+    }
+    std::printf("\n\n%-14s %9s %12s %12s %10s %8s\n", "scheme",
+                "w.speedup", "dyn(mJ)", "stat(mJ)", "ways/acc",
+                "LLCmiss%");
+
+    const llc::Scheme schemes[] = {
+        llc::Scheme::Unmanaged,   llc::Scheme::FairShare,
+        llc::Scheme::DynamicCpe,  llc::Scheme::Ucp,
+        llc::Scheme::Cooperative,
+    };
+
+    for (const llc::Scheme scheme : schemes) {
+        const sim::RunResult &r = sim::runGroup(scheme, group, options);
+        const double ws = sim::groupWeightedSpeedup(scheme, group,
+                                                    options);
+        std::uint64_t acc = 0;
+        std::uint64_t miss = 0;
+        for (const auto &app : r.apps) {
+            acc += app.llc_accesses;
+            miss += app.llc_misses;
+        }
+        std::printf("%-14s %9.3f %12.3f %12.3f %10.2f %8.2f\n",
+                    llc::schemeName(scheme), ws,
+                    r.dynamic_energy_nj * 1e-6,
+                    r.static_energy_nj * 1e-6, r.avg_ways_probed,
+                    acc > 0 ? 100.0 * static_cast<double>(miss) /
+                                  static_cast<double>(acc)
+                            : 0.0);
+    }
+
+    std::printf("\nPer-app IPC under Cooperative vs alone:\n");
+    const sim::RunResult &coop =
+        sim::runGroup(llc::Scheme::Cooperative, group, options);
+    for (std::size_t i = 0; i < group.apps.size(); ++i) {
+        const double alone = sim::soloIpc(
+            group.apps[i],
+            static_cast<std::uint32_t>(group.apps.size()), options);
+        std::printf("  %-12s ipc=%.3f alone=%.3f (%.2fx)\n",
+                    group.apps[i].c_str(), coop.apps[i].ipc, alone,
+                    coop.apps[i].ipc / alone);
+    }
+    return 0;
+}

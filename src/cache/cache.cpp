@@ -1,0 +1,182 @@
+#include "cache/cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace coopsim::cache
+{
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geometry,
+                             ReplPolicy policy, std::uint64_t seed)
+    : slicer_(geometry.numSets(), geometry.block_bytes),
+      ways_(geometry.ways),
+      blocks_(static_cast<std::size_t>(geometry.numSets()) * geometry.ways),
+      repl_(policy, seed)
+{
+    COOPSIM_ASSERT(geometry.ways > 0 && geometry.ways <= 64,
+                   "associativity must be in [1, 64]");
+    COOPSIM_ASSERT(geometry.size_bytes % (static_cast<std::uint64_t>(
+                       geometry.ways) * geometry.block_bytes) == 0,
+                   "cache size not divisible by way size");
+}
+
+LookupResult
+SetAssocCache::lookup(Addr addr, WayMask mask) const
+{
+    const SetId set = slicer_.set(addr);
+    const Addr tag = slicer_.tag(addr);
+    const CacheBlock *base = &blocks_[index(set, 0)];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!((mask >> w) & 1)) {
+            continue;
+        }
+        const CacheBlock &blk = base[w];
+        if (blk.valid && blk.tag == tag) {
+            return {true, w};
+        }
+    }
+    return {false, kNoWay};
+}
+
+void
+SetAssocCache::touch(SetId set, WayId way)
+{
+    blocks_[index(set, way)].lru = ++lru_clock_;
+}
+
+WayId
+SetAssocCache::victim(SetId set, WayMask mask)
+{
+    COOPSIM_ASSERT(mask != 0, "victim over empty mask");
+    const CacheBlock *base = &blocks_[index(set, 0)];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (((mask >> w) & 1) && !base[w].valid) {
+            return w;
+        }
+    }
+    return repl_.victim(base, ways_, mask);
+}
+
+void
+SetAssocCache::insert(Addr addr, SetId set, WayId way, CoreId owner,
+                      bool dirty)
+{
+    COOPSIM_ASSERT(way < ways_, "insert way out of range");
+    CacheBlock &blk = blocks_[index(set, way)];
+    blk.tag = slicer_.tag(addr);
+    blk.valid = true;
+    blk.dirty = dirty;
+    blk.owner = owner;
+    blk.lru = ++lru_clock_;
+}
+
+CacheBlock
+SetAssocCache::invalidate(SetId set, WayId way)
+{
+    CacheBlock &blk = blocks_[index(set, way)];
+    const CacheBlock before = blk;
+    blk = CacheBlock{};
+    return before;
+}
+
+const CacheBlock &
+SetAssocCache::block(SetId set, WayId way) const
+{
+    COOPSIM_ASSERT(way < ways_ && set < numSets(), "block out of range");
+    return blocks_[index(set, way)];
+}
+
+CacheBlock &
+SetAssocCache::blockMutable(SetId set, WayId way)
+{
+    COOPSIM_ASSERT(way < ways_ && set < numSets(), "block out of range");
+    return blocks_[index(set, way)];
+}
+
+Addr
+SetAssocCache::blockAddr(SetId set, WayId way) const
+{
+    const CacheBlock &blk = block(set, way);
+    COOPSIM_ASSERT(blk.valid, "blockAddr of invalid block");
+    return slicer_.compose(blk.tag, set);
+}
+
+std::uint32_t
+SetAssocCache::validCount(SetId set, WayMask mask) const
+{
+    const CacheBlock *base = &blocks_[index(set, 0)];
+    std::uint32_t count = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (((mask >> w) & 1) && base[w].valid) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::uint32_t
+SetAssocCache::ownedCount(SetId set, WayMask mask, CoreId core) const
+{
+    const CacheBlock *base = &blocks_[index(set, 0)];
+    std::uint32_t count = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (((mask >> w) & 1) && base[w].valid && base[w].owner == core) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+WayId
+SetAssocCache::lruValidWay(SetId set, WayMask mask) const
+{
+    const CacheBlock *base = &blocks_[index(set, 0)];
+    WayId best = kNoWay;
+    std::uint64_t best_lru = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!((mask >> w) & 1) || !base[w].valid) {
+            continue;
+        }
+        if (best == kNoWay || base[w].lru < best_lru) {
+            best = w;
+            best_lru = base[w].lru;
+        }
+    }
+    return best;
+}
+
+L1Cache::L1Cache(const CacheGeometry &geometry)
+    : array_(geometry, ReplPolicy::Lru)
+{
+}
+
+L1Result
+L1Cache::access(Addr addr, AccessType type)
+{
+    const WayMask all = fullMask(array_.ways());
+    const Addr aligned = array_.slicer().blockAlign(addr);
+    const SetId set = array_.slicer().set(aligned);
+
+    L1Result result;
+    const LookupResult found = array_.lookup(aligned, all);
+    if (found.hit) {
+        ++hits_;
+        array_.touch(set, found.way);
+        if (isWrite(type)) {
+            array_.blockMutable(set, found.way).dirty = true;
+        }
+        result.hit = true;
+        return result;
+    }
+
+    ++misses_;
+    const WayId way = array_.victim(set, all);
+    const CacheBlock &old = array_.block(set, way);
+    if (old.valid && old.dirty) {
+        result.writeback = true;
+        result.writeback_addr = array_.blockAddr(set, way);
+    }
+    array_.insert(aligned, set, way, 0, isWrite(type));
+    return result;
+}
+
+} // namespace coopsim::cache

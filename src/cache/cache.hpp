@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Generic set-associative cache storage.
+ *
+ * SetAssocCache is the tag/state array shared by the private L1 model,
+ * the shared LLC (src/llc) and the auxiliary tag directories used for
+ * utility monitoring (src/umon). It stores tags, dirty bits, per-block
+ * owner core and LRU state, and exposes way-mask-restricted lookup and
+ * victim selection — the primitive on which way partitioning is built.
+ *
+ * Way masks are 64-bit bitmaps (bit w = way w), so associativity is
+ * limited to 64, far above the paper's 16-way LLC.
+ */
+
+#ifndef COOPSIM_CACHE_CACHE_HPP
+#define COOPSIM_CACHE_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace coopsim::cache
+{
+
+/** Bitmap over the ways of a set: bit w set means way w is included. */
+using WayMask = std::uint64_t;
+
+/** A mask covering ways [0, ways). */
+constexpr WayMask
+fullMask(std::uint32_t ways)
+{
+    return ways >= 64 ? ~WayMask{0} : ((WayMask{1} << ways) - 1);
+}
+
+/** State of one cache block (tag entry). */
+struct CacheBlock
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    /**
+     * Core whose data this block holds. The paper adds two bits per tag
+     * entry for this purpose (Section 2.5, replacement-policy overhead).
+     */
+    CoreId owner = kNoCore;
+    /** LRU timestamp: larger is more recent. */
+    std::uint64_t lru = 0;
+};
+
+/** Result of a masked lookup. */
+struct LookupResult
+{
+    bool hit = false;
+    WayId way = kNoWay;
+};
+
+/** Geometry of a set-associative cache. */
+struct CacheGeometry
+{
+    std::uint64_t size_bytes = 0;
+    std::uint32_t ways = 0;
+    std::uint32_t block_bytes = 64;
+
+    std::uint32_t numSets() const
+    {
+        return static_cast<std::uint32_t>(
+            size_bytes / (static_cast<std::uint64_t>(ways) * block_bytes));
+    }
+};
+
+/**
+ * Tag/state array of a set-associative cache with mask-restricted
+ * operations. Timing and policy live in the callers.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param geometry Size/ways/block size; sets derived, must be a
+     *                 power of two.
+     * @param policy   Victim selection policy within the allowed mask.
+     */
+    explicit SetAssocCache(const CacheGeometry &geometry,
+                           ReplPolicy policy = ReplPolicy::Lru,
+                           std::uint64_t seed = 1);
+
+    /**
+     * Searches @p mask ways of the set for @p addr.
+     * Does not update LRU state — callers decide (UMON needs raw probes).
+     */
+    LookupResult lookup(Addr addr, WayMask mask) const;
+
+    /** Marks (set, way) as most recently used. */
+    void touch(SetId set, WayId way);
+
+    /**
+     * Picks a victim way within @p mask: an invalid way if one exists,
+     * otherwise per the replacement policy. @p mask must be non-empty.
+     */
+    WayId victim(SetId set, WayMask mask);
+
+    /**
+     * Installs @p addr in (set, way), overwriting whatever is there.
+     * The block becomes valid and most recently used.
+     */
+    void insert(Addr addr, SetId set, WayId way, CoreId owner, bool dirty);
+
+    /** Invalidates (set, way); returns the block state before. */
+    CacheBlock invalidate(SetId set, WayId way);
+
+    const CacheBlock &block(SetId set, WayId way) const;
+    CacheBlock &blockMutable(SetId set, WayId way);
+
+    /** Block-aligned address stored in (set, way); block must be valid. */
+    Addr blockAddr(SetId set, WayId way) const;
+
+    /** Number of valid blocks in @p set covered by @p mask. */
+    std::uint32_t validCount(SetId set, WayMask mask) const;
+
+    /** Number of valid blocks owned by @p core in @p set under @p mask. */
+    std::uint32_t ownedCount(SetId set, WayMask mask, CoreId core) const;
+
+    /** Least recently used valid way in @p mask, or kNoWay if none. */
+    WayId lruValidWay(SetId set, WayMask mask) const;
+
+    const AddrSlicer &slicer() const { return slicer_; }
+    std::uint32_t numSets() const { return slicer_.numSets(); }
+    std::uint32_t ways() const { return ways_; }
+
+  private:
+    std::size_t index(SetId set, WayId way) const
+    {
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
+
+    AddrSlicer slicer_;
+    std::uint32_t ways_;
+    std::vector<CacheBlock> blocks_;
+    std::uint64_t lru_clock_ = 0;
+    ReplacementPolicy repl_;
+};
+
+/** Outcome of an L1 access. */
+struct L1Result
+{
+    bool hit = false;
+    /** Dirty block evicted by the fill (valid only when writeback). */
+    bool writeback = false;
+    Addr writeback_addr = 0;
+};
+
+/**
+ * Private first-level cache: write-back, write-allocate, LRU.
+ *
+ * L1 timing (2-cycle hit) is accounted by the core model; this class
+ * tracks hit/miss state and evictions only.
+ */
+class L1Cache
+{
+  public:
+    explicit L1Cache(const CacheGeometry &geometry);
+
+    /**
+     * Performs an access; on a miss the line is filled immediately
+     * (the core model adds the miss latency separately).
+     */
+    L1Result access(Addr addr, AccessType type);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    SetAssocCache array_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace coopsim::cache
+
+#endif // COOPSIM_CACHE_CACHE_HPP

@@ -1,0 +1,64 @@
+#include "cache/mshr.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace coopsim::cache
+{
+
+MshrFile::MshrFile(std::uint32_t entries) : capacity_(entries)
+{
+    COOPSIM_ASSERT(entries > 0, "MSHR needs at least one entry");
+    entries_.reserve(entries);
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    std::erase_if(entries_,
+                  [now](const Entry &e) { return e.ready_at <= now; });
+}
+
+MshrOutcome
+MshrFile::allocate(Addr block_addr, Cycle now, Cycle fill_done)
+{
+    retire(now);
+
+    for (const Entry &e : entries_) {
+        if (e.block_addr == block_addr) {
+            return {true, false, e.ready_at};
+        }
+    }
+
+    if (entries_.size() >= capacity_) {
+        Cycle earliest = kCycleMax;
+        for (const Entry &e : entries_) {
+            earliest = std::min(earliest, e.ready_at);
+        }
+        return {false, true, earliest};
+    }
+
+    entries_.push_back({block_addr, fill_done});
+    return {false, false, fill_done};
+}
+
+std::uint32_t
+MshrFile::occupancy(Cycle now)
+{
+    retire(now);
+    return static_cast<std::uint32_t>(entries_.size());
+}
+
+Cycle
+MshrFile::earliestReady(Cycle now)
+{
+    retire(now);
+    Cycle earliest = kCycleMax;
+    for (const Entry &e : entries_) {
+        earliest = std::min(earliest, e.ready_at);
+    }
+    return earliest;
+}
+
+} // namespace coopsim::cache

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Miss-status holding registers (MSHR).
+ *
+ * Bounds the number of overlapping outstanding misses a core can
+ * sustain (the memory-level parallelism the OoO core model exploits)
+ * and coalesces repeated misses to the same block while the fill is in
+ * flight. The paper's configuration uses a 128-entry MSHR (Table 2).
+ */
+
+#ifndef COOPSIM_CACHE_MSHR_HPP
+#define COOPSIM_CACHE_MSHR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace coopsim::cache
+{
+
+/** Result of attempting to track a miss in the MSHR file. */
+struct MshrOutcome
+{
+    /** True when the block already had an in-flight fill (coalesced). */
+    bool coalesced = false;
+    /** True when the file was full and the request must stall. */
+    bool full = false;
+    /** Completion cycle of the (new or existing) fill. */
+    Cycle ready_at = 0;
+};
+
+/**
+ * Fixed-capacity MSHR file.
+ *
+ * Entries retire lazily: any operation first releases entries whose
+ * fill completed at or before the current cycle.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t entries);
+
+    /**
+     * Registers a miss on @p block_addr whose fill completes at
+     * @p fill_done. If an entry for the block exists, coalesces and
+     * returns its completion time. If the file is full, reports
+     * `full = true` and the earliest cycle an entry frees up in
+     * `ready_at`.
+     */
+    MshrOutcome allocate(Addr block_addr, Cycle now, Cycle fill_done);
+
+    /** Number of live entries at @p now. */
+    std::uint32_t occupancy(Cycle now);
+
+    /** Earliest completion among live entries (kCycleMax when empty). */
+    Cycle earliestReady(Cycle now);
+
+    std::uint32_t capacity() const { return capacity_; }
+
+  private:
+    void retire(Cycle now);
+
+    struct Entry
+    {
+        Addr block_addr;
+        Cycle ready_at;
+    };
+
+    std::uint32_t capacity_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace coopsim::cache
+
+#endif // COOPSIM_CACHE_MSHR_HPP

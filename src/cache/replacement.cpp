@@ -1,0 +1,59 @@
+#include "cache/replacement.hpp"
+
+#include <bit>
+
+#include "cache/cache.hpp"
+#include "common/logging.hpp"
+
+namespace coopsim::cache
+{
+
+ReplacementPolicy::ReplacementPolicy(ReplPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed)
+{
+}
+
+WayId
+ReplacementPolicy::victim(const CacheBlock *set_blocks, std::uint32_t ways,
+                          std::uint64_t mask)
+{
+    COOPSIM_ASSERT(mask != 0, "victim selection over empty mask");
+
+    if (policy_ == ReplPolicy::Random) {
+        const auto count =
+            static_cast<std::uint32_t>(std::popcount(mask));
+        std::uint32_t pick =
+            static_cast<std::uint32_t>(rng_.nextBelow(count));
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if ((mask >> w) & 1) {
+                if (pick == 0) {
+                    return w;
+                }
+                --pick;
+            }
+        }
+        COOPSIM_PANIC("random victim ran past mask");
+    }
+
+    WayId best = kNoWay;
+    std::uint64_t best_lru = 0;
+    bool first = true;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!((mask >> w) & 1)) {
+            continue;
+        }
+        const std::uint64_t lru = set_blocks[w].lru;
+        const bool better = first || (policy_ == ReplPolicy::Lru
+                                          ? lru < best_lru
+                                          : lru > best_lru);
+        if (better) {
+            best = w;
+            best_lru = lru;
+            first = false;
+        }
+    }
+    COOPSIM_ASSERT(best != kNoWay, "no victim found in mask");
+    return best;
+}
+
+} // namespace coopsim::cache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Victim selection policies for mask-restricted sets.
+ *
+ * The partitioning schemes need three flavours:
+ *  - Lru:    classic least-recently-used within the allowed ways;
+ *  - Random: uniform choice within the allowed ways (the paper notes
+ *            way-aligned transfer is "closer in performance to a random
+ *            choice of replacement block" — used in ablations);
+ *  - Mru:    most-recently-used (anti-LRU, for adversarial tests).
+ */
+
+#ifndef COOPSIM_CACHE_REPLACEMENT_HPP
+#define COOPSIM_CACHE_REPLACEMENT_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace coopsim::cache
+{
+
+struct CacheBlock;
+
+/** Selects how victims are chosen among allowed, valid ways. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,
+    Random,
+    Mru,
+};
+
+/**
+ * Stateless-per-set victim selector (the per-block LRU stamps live in
+ * the blocks themselves; Random keeps an Rng).
+ */
+class ReplacementPolicy
+{
+  public:
+    explicit ReplacementPolicy(ReplPolicy policy, std::uint64_t seed);
+
+    /**
+     * Chooses a victim among the ways of @p set_blocks selected by
+     * @p mask. All masked ways are valid (callers prefer invalid ways
+     * before consulting the policy).
+     *
+     * @param set_blocks Pointer to the first block of the set.
+     * @param ways       Associativity.
+     * @param mask       Allowed ways; must select at least one way.
+     */
+    WayId victim(const CacheBlock *set_blocks, std::uint32_t ways,
+                 std::uint64_t mask);
+
+    ReplPolicy kind() const { return policy_; }
+
+  private:
+    ReplPolicy policy_;
+    Rng rng_;
+};
+
+} // namespace coopsim::cache
+
+#endif // COOPSIM_CACHE_REPLACEMENT_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cache geometry helpers: power-of-two checks, address slicing.
+ */
+
+#ifndef COOPSIM_COMMON_GEOMETRY_HPP
+#define COOPSIM_COMMON_GEOMETRY_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace coopsim
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/**
+ * Slices addresses into (tag, set, block offset) for a power-of-two
+ * set-associative cache.
+ */
+class AddrSlicer
+{
+  public:
+    AddrSlicer(std::uint32_t num_sets, std::uint32_t block_bytes)
+        : num_sets_(num_sets), block_bytes_(block_bytes)
+    {
+        COOPSIM_ASSERT(isPowerOfTwo(num_sets), "sets not power of two");
+        COOPSIM_ASSERT(isPowerOfTwo(block_bytes), "block not power of two");
+        block_bits_ = floorLog2(block_bytes);
+        set_bits_ = floorLog2(num_sets);
+    }
+
+    SetId set(Addr addr) const
+    {
+        return static_cast<SetId>((addr >> block_bits_) & (num_sets_ - 1));
+    }
+
+    Addr tag(Addr addr) const
+    {
+        return addr >> (block_bits_ + set_bits_);
+    }
+
+    /** Canonical block-aligned address. */
+    Addr blockAlign(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(block_bytes_ - 1);
+    }
+
+    /** Reconstructs the block address from (tag, set). */
+    Addr compose(Addr tag, SetId set) const
+    {
+        return (tag << (block_bits_ + set_bits_)) |
+               (static_cast<Addr>(set) << block_bits_);
+    }
+
+    std::uint32_t numSets() const { return num_sets_; }
+    std::uint32_t blockBytes() const { return block_bytes_; }
+    std::uint32_t setBits() const { return set_bits_; }
+    std::uint32_t blockBits() const { return block_bits_; }
+
+  private:
+    std::uint32_t num_sets_;
+    std::uint32_t block_bytes_;
+    std::uint32_t block_bits_;
+    std::uint32_t set_bits_;
+};
+
+} // namespace coopsim
+
+#endif // COOPSIM_COMMON_GEOMETRY_HPP

@@ -1,0 +1,80 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace coopsim
+{
+
+namespace
+{
+
+std::atomic<bool> gThrowOnFatal{false};
+std::atomic<bool> gQuiet{false};
+
+} // namespace
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    if (gThrowOnFatal.load()) {
+        throw FatalError(msg);
+    }
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!gQuiet.load()) {
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!gQuiet.load()) {
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    }
+}
+
+void
+setThrowOnFatal(bool enable)
+{
+    gThrowOnFatal.store(enable);
+}
+
+bool
+throwOnFatal()
+{
+    return gThrowOnFatal.load();
+}
+
+} // namespace detail
+
+void
+setThrowOnFatal(bool enable)
+{
+    detail::setThrowOnFatal(enable);
+}
+
+void
+setQuiet(bool quiet)
+{
+    gQuiet.store(quiet);
+}
+
+} // namespace coopsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (synthetic trace
+ * generators, random replacement, random way selection in Algorithm 2)
+ * draws from an explicitly seeded Rng instance so that whole simulations
+ * are reproducible bit-for-bit from a single seed.
+ *
+ * The engine is xoshiro256** (Blackman & Vigna), implemented here to
+ * avoid any dependence on the standard library's unspecified
+ * distributions.
+ */
+
+#ifndef COOPSIM_COMMON_RNG_HPP
+#define COOPSIM_COMMON_RNG_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace coopsim
+{
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Seeds the engine via SplitMix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) — @p bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Draws an index from a discrete cumulative distribution.
+     *
+     * @param cdf Monotone array of cumulative probabilities; the last
+     *            entry should be 1.0 (values are clamped).
+     * @param n   Number of entries.
+     * @return index in [0, n).
+     */
+    std::uint32_t nextFromCdf(const double *cdf, std::uint32_t n);
+
+    /** Geometric-like draw: number of failures before a success. */
+    std::uint64_t nextGeometric(double p_success);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace coopsim
+
+#endif // COOPSIM_COMMON_RNG_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The operation-stream interface between workload generators and the
+ * core model.
+ *
+ * A stream yields an infinite sequence of memory operations, each
+ * preceded by a number of non-memory instructions. Streams may be
+ * raw (addresses to run through the private L1) or L1-filtered
+ * (`llc_level = true`), in which case the core model sends them
+ * directly to the shared LLC — the synthetic SPEC profiles generate
+ * L1-filtered streams because the paper's mechanisms all live at the
+ * LLC (see DESIGN.md).
+ */
+
+#ifndef COOPSIM_CORE_OP_STREAM_HPP
+#define COOPSIM_CORE_OP_STREAM_HPP
+
+#include "common/types.hpp"
+
+namespace coopsim::core
+{
+
+/** One memory operation with its leading instruction gap. */
+struct MemOp
+{
+    /** Non-memory instructions retired before this operation. */
+    InstCount gap_insts = 0;
+    /** Byte address accessed. */
+    Addr addr = 0;
+    AccessType type = AccessType::Read;
+    /** True when the address stream is already L1-filtered. */
+    bool llc_level = false;
+};
+
+/** Infinite generator of memory operations. */
+class OpStream
+{
+  public:
+    virtual ~OpStream() = default;
+
+    /** Produces the next operation. Streams never end. */
+    virtual MemOp next() = 0;
+};
+
+} // namespace coopsim::core
+
+#endif // COOPSIM_CORE_OP_STREAM_HPP

@@ -1,0 +1,74 @@
+#include "energy/accounting.hpp"
+
+#include "common/logging.hpp"
+
+namespace coopsim::energy
+{
+
+EnergyAccounting::EnergyAccounting(const CacheEnergyProfile &profile,
+                                   std::uint32_t total_ways)
+    : profile_(profile), total_ways_(total_ways)
+{
+    COOPSIM_ASSERT(total_ways > 0, "accounting for cache with no ways");
+}
+
+void
+EnergyAccounting::onAccess(std::uint32_t ways_probed, bool data_read,
+                           bool data_write, bool monitored)
+{
+    totals_.tag_nj +=
+        profile_.tag_probe_nj * static_cast<double>(ways_probed);
+    if (data_read) {
+        totals_.data_nj += profile_.data_read_nj;
+    }
+    if (data_write) {
+        totals_.data_nj += profile_.data_write_nj;
+    }
+    if (monitored) {
+        totals_.monitor_nj += profile_.monitor_access_nj;
+    }
+    ++accesses_;
+    ways_probed_sum_ += ways_probed;
+}
+
+void
+EnergyAccounting::onBlockDrain()
+{
+    totals_.drain_nj += profile_.data_read_nj;
+}
+
+void
+EnergyAccounting::integrate(Cycle now, double powered_ways)
+{
+    COOPSIM_ASSERT(powered_ways >= 0.0 &&
+                       powered_ways <= static_cast<double>(total_ways_) +
+                                           1e-9,
+                   "powered ways out of range");
+    if (now <= last_integrated_) {
+        return;
+    }
+    const double cycles = static_cast<double>(now - last_integrated_);
+    totals_.static_nj += cycles * (powered_ways *
+                                   profile_.way_leak_nj_per_cycle +
+                                   profile_.monitor_leak_nj_per_cycle);
+    last_integrated_ = now;
+}
+
+void
+EnergyAccounting::resetTotals(Cycle now)
+{
+    totals_ = EnergyTotals{};
+    last_integrated_ = now;
+    accesses_ = 0;
+    ways_probed_sum_ = 0;
+}
+
+double
+EnergyAccounting::avgWaysProbed() const
+{
+    return accesses_ > 0 ? static_cast<double>(ways_probed_sum_) /
+                               static_cast<double>(accesses_)
+                         : 0.0;
+}
+
+} // namespace coopsim::energy

@@ -1,0 +1,63 @@
+#include "energy/cacti_model.hpp"
+
+#include <cmath>
+
+#include "common/geometry.hpp"
+#include "common/logging.hpp"
+
+namespace coopsim::energy
+{
+
+CacheEnergyProfile
+deriveProfile(const CacheOrg &org)
+{
+    COOPSIM_ASSERT(org.ways > 0 && org.block_bytes > 0 &&
+                       org.size_bytes > 0,
+                   "bad cache organisation");
+
+    const std::uint64_t sets =
+        org.size_bytes /
+        (static_cast<std::uint64_t>(org.ways) * org.block_bytes);
+    COOPSIM_ASSERT(sets > 0, "cache smaller than one set");
+
+    // 45 nm anchor constants, in the range CACTI 5.1 reports for
+    // multi-megabyte L2/L3 SRAM arrays.
+    constexpr double kTagProbeBase = 0.010;   // nJ per way-probe (anchor)
+    constexpr double kDataReadBase = 0.180;   // nJ per 64B block read
+    constexpr double kDataWriteScale = 1.15;  // writes slightly pricier
+    constexpr double kLeakPerMbitNw = 450000.0; // nW per Mbit of SRAM
+    constexpr double kClockGhz = 2.0;          // converts nW to nJ/cycle
+
+    // Tag probe grows mildly with the number of sets (decoder/bitline).
+    const double set_factor =
+        1.0 + 0.05 * (static_cast<double>(floorLog2(sets)) - 11.0);
+    const double tag_probe = kTagProbeBase * std::max(0.5, set_factor);
+
+    // Data energy scales with line size relative to the 64B anchor.
+    const double line_factor =
+        static_cast<double>(org.block_bytes) / 64.0;
+    const double data_read = kDataReadBase * line_factor;
+
+    // Leakage: bits per way = sets * (block bits + tag-ish overhead).
+    const double bits_per_way =
+        static_cast<double>(sets) *
+        (static_cast<double>(org.block_bytes) * 8.0 + 48.0);
+    const double way_leak_nw = kLeakPerMbitNw * bits_per_way / 1.0e6;
+    const double way_leak_nj_per_cycle = way_leak_nw / (kClockGhz * 1e9);
+
+    CacheEnergyProfile profile;
+    profile.tag_probe_nj = tag_probe;
+    profile.data_read_nj = data_read;
+    profile.data_write_nj = data_read * kDataWriteScale;
+    profile.way_leak_nj_per_cycle = way_leak_nj_per_cycle;
+
+    if (org.has_partition_hw) {
+        // UMON is a sampled tag directory: ~1/32 of one way's tags per
+        // core, plus RAP/WAP/takeover registers (Table 1: ~8k bits).
+        profile.monitor_access_nj = 0.1 * tag_probe;
+        profile.monitor_leak_nj_per_cycle = 0.02 * way_leak_nj_per_cycle;
+    }
+    return profile;
+}
+
+} // namespace coopsim::energy

@@ -1,0 +1,201 @@
+#include "llc/permissions.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace coopsim::llc
+{
+
+PermissionFile::PermissionFile(std::uint32_t ways, std::uint32_t cores)
+    : cores_(cores), rap_(ways, 0), wap_(ways, 0), powered_(ways, false)
+{
+    COOPSIM_ASSERT(ways > 0 && ways <= 64, "ways must be in [1, 64]");
+    COOPSIM_ASSERT(cores > 0 && cores <= 32, "cores must be in [1, 32]");
+}
+
+void
+PermissionFile::setOwner(WayId way, CoreId core)
+{
+    COOPSIM_ASSERT(way < ways() && core < cores_, "setOwner out of range");
+    rap_[way] = CoreMask{1} << core;
+    wap_[way] = CoreMask{1} << core;
+    powered_[way] = true;
+}
+
+void
+PermissionFile::beginTransfer(WayId way, CoreId donor, CoreId recipient)
+{
+    COOPSIM_ASSERT(way < ways(), "beginTransfer way out of range");
+    COOPSIM_ASSERT(donor != recipient, "self transfer");
+    COOPSIM_ASSERT(powered_[way], "transfer of a powered-off way");
+    COOPSIM_ASSERT(rap_[way] == (CoreMask{1} << donor) &&
+                       wap_[way] == (CoreMask{1} << donor),
+                   "transfer source must be in steady state");
+    rap_[way] |= CoreMask{1} << recipient;
+    wap_[way] = CoreMask{1} << recipient;
+}
+
+void
+PermissionFile::beginDrain(WayId way, CoreId donor)
+{
+    COOPSIM_ASSERT(way < ways(), "beginDrain way out of range");
+    COOPSIM_ASSERT(rap_[way] == (CoreMask{1} << donor) &&
+                       wap_[way] == (CoreMask{1} << donor),
+                   "drain source must be in steady state");
+    wap_[way] = 0;
+}
+
+void
+PermissionFile::clearRead(WayId way, CoreId core)
+{
+    COOPSIM_ASSERT(way < ways() && core < cores_, "clearRead range");
+    rap_[way] &= ~(CoreMask{1} << core);
+}
+
+void
+PermissionFile::powerOff(WayId way)
+{
+    COOPSIM_ASSERT(way < ways(), "powerOff way out of range");
+    COOPSIM_ASSERT(rap_[way] == 0 && wap_[way] == 0,
+                   "powering off a way with live permissions");
+    powered_[way] = false;
+}
+
+std::uint64_t
+PermissionFile::readMask(CoreId core) const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        if ((rap_[w] >> core) & 1u) {
+            mask |= std::uint64_t{1} << w;
+        }
+    }
+    return mask;
+}
+
+std::uint64_t
+PermissionFile::writeMask(CoreId core) const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        if ((wap_[w] >> core) & 1u) {
+            mask |= std::uint64_t{1} << w;
+        }
+    }
+    return mask;
+}
+
+std::uint64_t
+PermissionFile::donatingMask(CoreId core) const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        if (((rap_[w] >> core) & 1u) && !((wap_[w] >> core) & 1u)) {
+            mask |= std::uint64_t{1} << w;
+        }
+    }
+    return mask;
+}
+
+std::uint64_t
+PermissionFile::receivingMask(CoreId core) const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        const CoreMask self = CoreMask{1} << core;
+        if ((wap_[w] & self) && (rap_[w] & ~self) != 0) {
+            mask |= std::uint64_t{1} << w;
+        }
+    }
+    return mask;
+}
+
+CoreId
+PermissionFile::donorOf(WayId way) const
+{
+    const CoreMask readers_only = rap_[way] & ~wap_[way];
+    if (readers_only == 0) {
+        return kNoCore;
+    }
+    COOPSIM_ASSERT(std::popcount(readers_only) == 1,
+                   "multiple donors on one way");
+    return static_cast<CoreId>(std::countr_zero(readers_only));
+}
+
+CoreId
+PermissionFile::writerOf(WayId way) const
+{
+    if (wap_[way] == 0) {
+        return kNoCore;
+    }
+    COOPSIM_ASSERT(std::popcount(wap_[way]) == 1,
+                   "multiple writers on one way");
+    return static_cast<CoreId>(std::countr_zero(wap_[way]));
+}
+
+WayState
+PermissionFile::state(WayId way) const
+{
+    const CoreMask rap = rap_[way];
+    const CoreMask wap = wap_[way];
+    if (rap == 0 && wap == 0) {
+        return powered_[way] ? WayState::Draining : WayState::Off;
+    }
+    if (wap == 0) {
+        return WayState::Draining;
+    }
+    if (rap == wap) {
+        return WayState::Steady;
+    }
+    return WayState::Transition;
+}
+
+std::uint64_t
+PermissionFile::offMask() const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        if (!powered_[w]) {
+            mask |= std::uint64_t{1} << w;
+        }
+    }
+    return mask;
+}
+
+std::uint32_t
+PermissionFile::poweredCount() const
+{
+    std::uint32_t count = 0;
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        count += powered_[w] ? 1 : 0;
+    }
+    return count;
+}
+
+void
+PermissionFile::checkInvariants() const
+{
+    for (std::uint32_t w = 0; w < ways(); ++w) {
+        const CoreMask rap = rap_[w];
+        const CoreMask wap = wap_[w];
+        COOPSIM_ASSERT((wap & ~rap) == 0,
+                       "WAP without RAP on way ", w);
+        COOPSIM_ASSERT(std::popcount(wap) <= 1,
+                       "more than one writer on way ", w);
+        if (!powered_[w]) {
+            COOPSIM_ASSERT(rap == 0 && wap == 0,
+                           "permissions on powered-off way ", w);
+            continue;
+        }
+        // Powered: at most one reader beyond the writer.
+        COOPSIM_ASSERT(std::popcount(rap) <= 2,
+                       "more than two readers on way ", w);
+        if (std::popcount(rap) == 2) {
+            COOPSIM_ASSERT(std::popcount(wap) == 1,
+                           "two readers but no writer on way ", w);
+        }
+    }
+}
+
+} // namespace coopsim::llc

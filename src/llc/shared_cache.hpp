@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Shared last-level cache: configuration, common state and statistics
+ * for all five partitioning schemes evaluated in the paper.
+ *
+ * BaseLlc owns the tag/state array, the connection to DRAM, the energy
+ * meter and the per-core counters; the scheme subclasses in
+ * llc/schemes.hpp implement the access and epoch behaviour.
+ *
+ * Timing convention: access() returns the cycle at which the requested
+ * data is available to the core. State changes (fills, evictions) are
+ * applied immediately — the usual trace-simulation approximation. A
+ * scheme may additionally report the LLC as busy (DynamicCPE stalls all
+ * cores during its bulk flushes).
+ */
+
+#ifndef COOPSIM_LLC_SHARED_CACHE_HPP
+#define COOPSIM_LLC_SHARED_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "energy/accounting.hpp"
+#include "mem/dram.hpp"
+#include "partition/lookahead.hpp"
+
+namespace coopsim::llc
+{
+
+/** Which partitioning scheme an LLC instance implements. */
+enum class Scheme : std::uint8_t
+{
+    Unmanaged,
+    FairShare,
+    Ucp,
+    DynamicCpe,
+    Cooperative,
+};
+
+/** Human-readable scheme name (matches the paper's legends). */
+const char *schemeName(Scheme scheme);
+
+/**
+ * How unowned ways save static energy (extension; DESIGN.md §8).
+ *
+ * GatedVdd is the paper's mechanism (Powell et al.): the way loses its
+ * contents and its leakage entirely. Drowsy (Flautner et al., which
+ * the paper's related work suggests layering on) keeps the contents in
+ * a low-voltage state at a fraction of the leakage; a core that
+ * re-acquires a drowsy way finds its old (clean) lines still there.
+ */
+enum class GatingMode : std::uint8_t
+{
+    GatedVdd,
+    Drowsy,
+};
+
+/** Configuration of the shared LLC. */
+struct LlcConfig
+{
+    cache::CacheGeometry geometry{2ull << 20, 8, 64};
+    std::uint32_t num_cores = 2;
+    /** Serial tag+data hit latency (paper: 15 / 20 cycles). */
+    Tick hit_latency = 15;
+    cache::ReplPolicy repl = cache::ReplPolicy::Lru;
+    std::uint64_t seed = 1;
+
+    /** Turn-off threshold T for Cooperative (Algorithm 1). */
+    double threshold = 0.05;
+    partition::ThresholdMode threshold_mode =
+        partition::ThresholdMode::MissRatio;
+    /** Gating threshold used by Dynamic CPE's profile allocator
+     *  (slightly laxer than Cooperative's T, so CPE gates a little
+     *  less aggressively, as in the paper's Figures 7/10). */
+    double cpe_gate_threshold = 0.035;
+    /** Minimum ways any core keeps. */
+    std::uint32_t min_ways_per_core = 1;
+    /** UMON dynamic set sampling period. */
+    std::uint32_t umon_sample_period = 32;
+    /**
+     * Repartition confirmation: a changed allocation is adopted only
+     * after this many consecutive epochs request the same target
+     * (1 = adopt immediately). Dampens decision flapping when the
+     * sampled utility curves are noisy, without blocking the
+     * energy-motivated way turn-offs (which never reduce misses).
+     */
+    std::uint32_t confirm_epochs = 2;
+    /**
+     * Transitions older than this are forced to completion at the next
+     * epoch (flushing the remaining dirty donor lines). The paper lets
+     * stragglers run on; a bound keeps pathological never-accessed
+     * ways from staying in limbo forever.
+     */
+    Tick stale_transition_cycles = 10'000'000;
+
+    /** Static-saving mechanism for unowned ways (Cooperative only). */
+    GatingMode gating = GatingMode::GatedVdd;
+    /** Leakage of a drowsy way relative to a powered one. */
+    double drowsy_leak_fraction = 0.25;
+
+    /** Fig 16 time series: bin width and bin count (cycles). */
+    Tick flush_series_bin = 500'000;
+    std::uint32_t flush_series_bins = 24;
+};
+
+/** Result of one LLC access. */
+struct LlcAccess
+{
+    bool hit = false;
+    /** True when the core owns no ways and the access bypassed the LLC. */
+    bool bypass = false;
+    /** Cycle at which data is available to the requesting core. */
+    Cycle ready_at = 0;
+    /** Tag ways probed (the dynamic-energy driver). */
+    std::uint32_t ways_probed = 0;
+};
+
+/** Per-core LLC counters. */
+struct CoreLlcStats
+{
+    stats::Counter accesses;
+    stats::Counter hits;
+    stats::Counter misses;
+    stats::Counter writebacks;
+    stats::Counter bypasses;
+};
+
+/** Takeover-event breakdown (paper Figure 14). */
+struct TakeoverEventStats
+{
+    stats::Counter donor_hits;
+    stats::Counter donor_misses;
+    stats::Counter recipient_hits;
+    stats::Counter recipient_misses;
+
+    std::uint64_t total() const
+    {
+        return donor_hits.value() + donor_misses.value() +
+               recipient_hits.value() + recipient_misses.value();
+    }
+};
+
+/**
+ * Abstract shared LLC.
+ */
+class BaseLlc
+{
+  public:
+    BaseLlc(const LlcConfig &config, mem::DramModel &dram,
+            bool has_partition_hw);
+    virtual ~BaseLlc() = default;
+
+    BaseLlc(const BaseLlc &) = delete;
+    BaseLlc &operator=(const BaseLlc &) = delete;
+
+    /**
+     * Performs a demand access by @p core.
+     *
+     * @param core Requesting core.
+     * @param addr Byte address (block-aligned internally).
+     * @param type Read or Write.
+     * @param now  Cycle the request reaches the LLC. Calls must be in
+     *             non-decreasing @p now order across all cores.
+     */
+    virtual LlcAccess access(CoreId core, Addr addr, AccessType type,
+                             Cycle now) = 0;
+
+    /**
+     * Partitioning-epoch boundary (every 5 M cycles in the paper).
+     * Default: no-op (Unmanaged, FairShare).
+     */
+    virtual void epoch(Cycle now);
+
+    /** Ways currently powered (fractional for set-gated schemes). */
+    virtual double poweredWays() const;
+
+    /** Current way allocation per core (logical, for inspection). */
+    virtual std::vector<std::uint32_t> allocation() const = 0;
+
+    /** Scheme identity. */
+    virtual Scheme scheme() const = 0;
+
+    /** Integrates leakage up to @p now (also called by accesses). */
+    void integrateStatic(Cycle now);
+
+    /**
+     * Zeroes all measurement counters (energy, per-core stats, flush
+     * series, transfer durations). Cache contents, permissions and
+     * monitor state are untouched — used at the end of warm-up.
+     */
+    void resetStats(Cycle now);
+
+    // --- inspection -----------------------------------------------------
+
+    const LlcConfig &config() const { return config_; }
+    const cache::SetAssocCache &array() const { return array_; }
+    const energy::EnergyAccounting &energy() const { return energy_; }
+    const CoreLlcStats &coreStats(CoreId core) const;
+    const TakeoverEventStats &takeoverEvents() const { return events_; }
+    const stats::TimeSeries &flushSeries() const { return flush_series_; }
+    /** Completed way-transfer durations in cycles (Fig 15). */
+    const std::vector<double> &transferDurations() const
+    {
+        return transfer_durations_;
+    }
+    /** Total lines flushed LLC->memory by partitioning activity. */
+    std::uint64_t flushedLines() const { return flushed_lines_.value(); }
+    /** Partitioning decisions taken. */
+    std::uint64_t epochsRun() const { return epochs_.value(); }
+    /** Epochs whose allocation differed from the previous one. */
+    std::uint64_t repartitions() const { return repartitions_.value(); }
+
+    std::uint64_t hitsTotal() const;
+    std::uint64_t missesTotal() const;
+
+  protected:
+    /** Charges an access to the meters and per-core stats. */
+    void chargeAccess(CoreId core, std::uint32_t ways_probed, bool hit,
+                      bool data_read, bool data_write, bool monitored);
+
+    /** Records a partitioning-induced flush of one line at @p now. */
+    void recordFlush(Cycle now);
+
+    /** Marks the time origin for the Fig 16 flush series. */
+    void setFlushOrigin(Cycle now) { flush_origin_ = now; }
+
+    LlcConfig config_;
+    cache::SetAssocCache array_;
+    mem::DramModel &dram_;
+    energy::EnergyAccounting energy_;
+    std::vector<CoreLlcStats> core_stats_;
+    TakeoverEventStats events_;
+    stats::TimeSeries flush_series_;
+    Cycle flush_origin_ = 0;
+    std::vector<double> transfer_durations_;
+    stats::Counter flushed_lines_;
+    stats::Counter epochs_;
+    stats::Counter repartitions_;
+};
+
+/** Factory: builds the LLC variant for @p scheme. */
+std::unique_ptr<BaseLlc> makeLlc(Scheme scheme, const LlcConfig &config,
+                                 mem::DramModel &dram);
+
+} // namespace coopsim::llc
+
+#endif // COOPSIM_LLC_SHARED_CACHE_HPP

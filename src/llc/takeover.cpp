@@ -1,0 +1,62 @@
+#include "llc/takeover.hpp"
+
+#include "common/logging.hpp"
+
+namespace coopsim::llc
+{
+
+TakeoverDirectory::TakeoverDirectory(std::uint32_t cores,
+                                     std::uint32_t sets)
+    : cores_(cores), sets_(sets),
+      bits_(static_cast<std::size_t>(cores) * sets, 0),
+      counts_(cores, 0)
+{
+    COOPSIM_ASSERT(cores > 0 && sets > 0, "empty takeover directory");
+}
+
+void
+TakeoverDirectory::reset(CoreId donor)
+{
+    COOPSIM_ASSERT(donor < cores_, "reset out of range");
+    char *row = &bits_[static_cast<std::size_t>(donor) * sets_];
+    for (std::uint32_t s = 0; s < sets_; ++s) {
+        row[s] = 0;
+    }
+    counts_[donor] = 0;
+}
+
+bool
+TakeoverDirectory::mark(CoreId donor, SetId set)
+{
+    COOPSIM_ASSERT(donor < cores_ && set < sets_, "mark out of range");
+    char &bit = bits_[static_cast<std::size_t>(donor) * sets_ + set];
+    if (bit) {
+        return false;
+    }
+    bit = 1;
+    ++counts_[donor];
+    return true;
+}
+
+bool
+TakeoverDirectory::marked(CoreId donor, SetId set) const
+{
+    COOPSIM_ASSERT(donor < cores_ && set < sets_, "marked out of range");
+    return bits_[static_cast<std::size_t>(donor) * sets_ + set] != 0;
+}
+
+bool
+TakeoverDirectory::full(CoreId donor) const
+{
+    COOPSIM_ASSERT(donor < cores_, "full out of range");
+    return counts_[donor] == sets_;
+}
+
+std::uint32_t
+TakeoverDirectory::popcount(CoreId donor) const
+{
+    COOPSIM_ASSERT(donor < cores_, "popcount out of range");
+    return counts_[donor];
+}
+
+} // namespace coopsim::llc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Takeover bit vectors (paper Section 2.3).
+ *
+ * Each core owns one bit per LLC set. A donor core's vector is reset
+ * when it starts donating; bits are set as donor or recipient accesses
+ * touch sets (flushing the donor's dirty lines there). When every bit
+ * of a donor's vector is set, all ways the donor is currently giving
+ * away have been cleaned and ownership can be finalised.
+ */
+
+#ifndef COOPSIM_LLC_TAKEOVER_HPP
+#define COOPSIM_LLC_TAKEOVER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace coopsim::llc
+{
+
+/**
+ * The per-core, per-set takeover bit vectors.
+ */
+class TakeoverDirectory
+{
+  public:
+    TakeoverDirectory(std::uint32_t cores, std::uint32_t sets);
+
+    /** Clears core @p donor's vector (start of its donation). */
+    void reset(CoreId donor);
+
+    /**
+     * Sets the bit for (donor, set).
+     * @return true when the bit was not already set.
+     */
+    bool mark(CoreId donor, SetId set);
+
+    /** True when the bit for (donor, set) is set. */
+    bool marked(CoreId donor, SetId set) const;
+
+    /** True when every bit of @p donor's vector is set. */
+    bool full(CoreId donor) const;
+
+    /** Number of set bits in @p donor's vector. */
+    std::uint32_t popcount(CoreId donor) const;
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t cores() const { return cores_; }
+
+    /** Total bits of storage this hardware costs (Table 1). */
+    std::uint64_t storageBits() const
+    {
+        return static_cast<std::uint64_t>(cores_) * sets_;
+    }
+
+  private:
+    std::uint32_t cores_;
+    std::uint32_t sets_;
+    /** bits_[c * sets_ + s]; vector<char> avoids bitset proxy cost. */
+    std::vector<char> bits_;
+    std::vector<std::uint32_t> counts_;
+};
+
+} // namespace coopsim::llc
+
+#endif // COOPSIM_LLC_TAKEOVER_HPP

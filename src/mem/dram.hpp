@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Banked DRAM timing model.
+ *
+ * Models the paper's memory system (Table 2): 8 DRAM banks, a 400-cycle
+ * access latency, a bounded number of outstanding requests (64) and bus
+ * queueing delays. The model is analytic rather than event-driven: each
+ * request is assigned a completion cycle when issued, accounting for
+ * bank occupancy and the outstanding-request window.
+ *
+ * Demand accesses (LLC misses) and writebacks/flushes share the banks,
+ * so heavy flushing during cache reconfiguration delays demand traffic —
+ * the effect behind the paper's Figure 16 discussion.
+ */
+
+#ifndef COOPSIM_MEM_DRAM_HPP
+#define COOPSIM_MEM_DRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace coopsim::mem
+{
+
+/** Configuration of the DRAM model. */
+struct DramConfig
+{
+    /** Number of independent banks. */
+    std::uint32_t banks = 8;
+    /** End-to-end latency of an unloaded access, in cycles. */
+    Tick access_latency = 400;
+    /** Cycles a bank stays busy per request (row activation/precharge). */
+    Tick bank_occupancy = 40;
+    /** Maximum in-flight requests before new ones queue. */
+    std::uint32_t max_outstanding = 64;
+    /** Block size, used only to slice bank-index bits. */
+    std::uint32_t block_bytes = 64;
+};
+
+/** Running totals for DRAM traffic. */
+struct DramStats
+{
+    stats::Counter reads;          //!< Demand fills.
+    stats::Counter writes;         //!< Demand writes (fills for stores).
+    stats::Counter writebacks;     //!< Evicted dirty lines.
+    stats::Counter flushes;        //!< Dirty lines flushed by partitioning.
+    stats::Average queue_delay;    //!< Mean cycles spent queueing.
+};
+
+/**
+ * Analytic banked DRAM model.
+ *
+ * Issue order must be non-decreasing in time: the simulation driver
+ * advances cores in global cycle order, which guarantees this.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = DramConfig{});
+
+    /**
+     * Issues a demand access (fill for a read or write miss).
+     *
+     * @param addr Block address (used for bank selection).
+     * @param type Read or Write demand.
+     * @param now  Issue cycle.
+     * @return Cycle at which the data is available at the LLC.
+     */
+    Cycle access(Addr addr, AccessType type, Cycle now);
+
+    /**
+     * Issues a writeback of an evicted dirty block. Occupies a bank but
+     * the issuing core does not wait for completion.
+     */
+    void writeback(Addr addr, Cycle now);
+
+    /**
+     * Issues a flush caused by cache repartitioning (cooperative
+     * takeover or CPE-style bulk flushing). Counted separately from
+     * ordinary writebacks so the benches can report flush traffic.
+     *
+     * @return Cycle at which the flush completes (CPE stalls on this).
+     */
+    Cycle flush(Addr addr, Cycle now);
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return config_; }
+
+    /** Resets statistics (not timing state). */
+    void resetStats();
+
+  private:
+    /** Common path: schedules a request, returns its completion cycle. */
+    Cycle schedule(Addr addr, Cycle now);
+
+    std::uint32_t bankOf(Addr addr) const;
+
+    DramConfig config_;
+    /** Cycle at which each bank is next free. */
+    std::vector<Cycle> bank_ready_;
+    /** Ring of completion cycles of the most recent in-flight requests. */
+    std::vector<Cycle> inflight_;
+    std::size_t inflight_head_ = 0;
+    DramStats stats_;
+};
+
+} // namespace coopsim::mem
+
+#endif // COOPSIM_MEM_DRAM_HPP

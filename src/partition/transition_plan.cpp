@@ -1,0 +1,94 @@
+#include "partition/transition_plan.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace coopsim::partition
+{
+
+namespace
+{
+
+/** Removes and returns a random element of @p pool. */
+WayId
+takeRandom(std::vector<WayId> &pool, Rng &rng)
+{
+    COOPSIM_ASSERT(!pool.empty(), "taking from empty way pool");
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.nextBelow(pool.size()));
+    const WayId way = pool[idx];
+    pool[idx] = pool.back();
+    pool.pop_back();
+    return way;
+}
+
+} // namespace
+
+TransitionPlan
+planTransition(const std::vector<std::vector<WayId>> &owned_ways,
+               const std::vector<WayId> &off_ways,
+               const std::vector<std::uint32_t> &new_alloc, Rng &rng)
+{
+    const std::size_t n = owned_ways.size();
+    COOPSIM_ASSERT(new_alloc.size() == n,
+                   "allocation/ownership size mismatch");
+
+    // First pass of Algorithm 2: classify cores as donors or recipients.
+    std::vector<std::uint32_t> donate(n, 0);
+    std::vector<std::uint32_t> receive(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto prev = static_cast<std::uint32_t>(owned_ways[i].size());
+        if (prev < new_alloc[i]) {
+            receive[i] = new_alloc[i] - prev;
+        } else if (prev > new_alloc[i]) {
+            donate[i] = prev - new_alloc[i];
+        }
+    }
+
+    // Mutable pools of candidate ways per donor, in the paper's spirit
+    // of "random way owned by core j".
+    std::vector<std::vector<WayId>> donor_pool(owned_ways);
+    std::vector<WayId> off_pool(off_ways);
+
+    TransitionPlan plan;
+
+    // Second pass: pair donors with recipients.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n && receive[i] > 0; ++j) {
+            if (i == j || donate[j] == 0) {
+                continue;
+            }
+            const std::uint32_t donation = std::min(receive[i], donate[j]);
+            for (std::uint32_t d = 0; d < donation; ++d) {
+                const WayId w = takeRandom(donor_pool[j], rng);
+                plan.transfers.push_back(
+                    {w, static_cast<CoreId>(j), static_cast<CoreId>(i)});
+            }
+            receive[i] -= donation;
+            donate[j] -= donation;
+        }
+    }
+
+    // Third pass: surplus donations drain to off; residual demand is
+    // served from the powered-off pool.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t d = 0; d < donate[i]; ++d) {
+            const WayId w = takeRandom(donor_pool[i], rng);
+            plan.drains.push_back({w, static_cast<CoreId>(i)});
+        }
+        donate[i] = 0;
+
+        for (std::uint32_t r = 0; r < receive[i]; ++r) {
+            COOPSIM_ASSERT(!off_pool.empty(),
+                           "allocation exceeds donations + off ways");
+            const WayId w = takeRandom(off_pool, rng);
+            plan.power_ons.push_back({w, static_cast<CoreId>(i)});
+        }
+        receive[i] = 0;
+    }
+
+    return plan;
+}
+
+} // namespace coopsim::partition

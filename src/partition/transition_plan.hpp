@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Algorithm 2 of the paper: given the previous and the newly decided
+ * way allocations, plan which physical ways move between cores, which
+ * are drained and powered off, and which are powered on — expressed as
+ * the RAP/WAP register changes that initiate cooperative takeover.
+ *
+ * The planner is pure: it does not touch the cache. The Cooperative LLC
+ * applies the plan to its permission registers and takeover vectors.
+ */
+
+#ifndef COOPSIM_PARTITION_TRANSITION_PLAN_HPP
+#define COOPSIM_PARTITION_TRANSITION_PLAN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace coopsim::partition
+{
+
+/** A way moving from one core to another via cooperative takeover. */
+struct WayTransfer
+{
+    WayId way = kNoWay;
+    CoreId donor = kNoCore;
+    CoreId recipient = kNoCore;
+};
+
+/** A way a core must drain (flush dirty lines) before it powers off. */
+struct WayDrain
+{
+    WayId way = kNoWay;
+    CoreId donor = kNoCore;
+};
+
+/** A powered-off way granted to a core; usable immediately. */
+struct WayPowerOn
+{
+    WayId way = kNoWay;
+    CoreId recipient = kNoCore;
+};
+
+/** Output of Algorithm 2. */
+struct TransitionPlan
+{
+    std::vector<WayTransfer> transfers;
+    std::vector<WayDrain> drains;
+    std::vector<WayPowerOn> power_ons;
+
+    bool empty() const
+    {
+        return transfers.empty() && drains.empty() && power_ons.empty();
+    }
+};
+
+/**
+ * Plans the way movements realising a new allocation.
+ *
+ * @param owned_ways  owned_ways[c] = ways core c currently owns
+ *                    (steady state: no way appears for two cores).
+ * @param off_ways    Currently powered-off ways.
+ * @param new_alloc   new_alloc[c] = way count core c should own next.
+ * @param rng         Source for the random way choices the paper's
+ *                    Algorithm 2 specifies.
+ *
+ * The plan satisfies: every core ends with exactly new_alloc[c] ways;
+ * donors first feed recipients (transfers), surplus donations drain to
+ * off, remaining recipient demand is served from powered-off ways.
+ * Total demand beyond donations + off pool is a caller error.
+ */
+TransitionPlan planTransition(
+    const std::vector<std::vector<WayId>> &owned_ways,
+    const std::vector<WayId> &off_ways,
+    const std::vector<std::uint32_t> &new_alloc, Rng &rng);
+
+} // namespace coopsim::partition
+
+#endif // COOPSIM_PARTITION_TRANSITION_PLAN_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Result reporting: renders RunResults as gem5-style stat dumps and
+ * as CSV rows for downstream plotting.
+ */
+
+#ifndef COOPSIM_SIM_REPORT_HPP
+#define COOPSIM_SIM_REPORT_HPP
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "sim/system.hpp"
+
+namespace coopsim::sim
+{
+
+/**
+ * Flattens a RunResult into a named stat group
+ * ("<name>.<key> <value>" lines via StatGroup::format()).
+ */
+stats::StatGroup toStatGroup(const RunResult &result,
+                             const std::string &name);
+
+/** Renders the full "key value" dump. */
+std::string formatRunResult(const RunResult &result,
+                            const std::string &name);
+
+/** Header line for csvRow(), comma-separated. */
+std::string csvHeader();
+
+/**
+ * One CSV row per run: identity columns (scheme, workload) followed by
+ * the headline metrics, matching csvHeader().
+ */
+std::string csvRow(const std::string &scheme,
+                   const std::string &workload, const RunResult &result,
+                   double weighted_speedup);
+
+} // namespace coopsim::sim
+
+#endif // COOPSIM_SIM_REPORT_HPP

@@ -1,0 +1,141 @@
+#include "sim/runner.hpp"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace coopsim::sim
+{
+
+namespace
+{
+
+std::string
+keyOf(llc::Scheme scheme, const std::string &group,
+      const RunOptions &options)
+{
+    std::ostringstream os;
+    os << llc::schemeName(scheme) << '|' << group << '|'
+       << static_cast<int>(options.scale) << '|' << options.threshold
+       << '|' << static_cast<int>(options.threshold_mode) << '|'
+       << options.seed;
+    return os.str();
+}
+
+std::map<std::string, RunResult> &
+runCache()
+{
+    static std::map<std::string, RunResult> cache;
+    return cache;
+}
+
+std::map<std::string, double> &
+soloCache()
+{
+    static std::map<std::string, double> cache;
+    return cache;
+}
+
+SystemConfig
+configFor(llc::Scheme scheme, std::uint32_t num_cores,
+          const RunOptions &options)
+{
+    SystemConfig config = num_cores <= 2
+                              ? makeTwoCoreConfig(scheme, options.scale)
+                              : makeFourCoreConfig(scheme, options.scale);
+    config.llc.threshold = options.threshold;
+    config.llc.threshold_mode = options.threshold_mode;
+    config.seed = options.seed;
+    return config;
+}
+
+} // namespace
+
+const RunResult &
+runGroup(llc::Scheme scheme, const trace::WorkloadGroup &group,
+         const RunOptions &options)
+{
+    const std::string key = keyOf(scheme, group.name, options);
+    auto &cache = runCache();
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+        return it->second;
+    }
+
+    const auto num_cores =
+        static_cast<std::uint32_t>(group.apps.size());
+    SystemConfig config = configFor(scheme, num_cores, options);
+    COOPSIM_ASSERT(config.num_cores == num_cores,
+                   "group size does not match system");
+
+    System system(config, trace::groupProfiles(group));
+    return cache.emplace(key, system.run()).first->second;
+}
+
+double
+soloIpc(const std::string &app, std::uint32_t num_cores,
+        const RunOptions &options)
+{
+    std::ostringstream os;
+    os << app << '|' << num_cores << '|'
+       << static_cast<int>(options.scale) << '|' << options.seed;
+    auto &cache = soloCache();
+    const auto it = cache.find(os.str());
+    if (it != cache.end()) {
+        return it->second;
+    }
+
+    // "Running in isolation": the app owns the whole (unmanaged) LLC of
+    // the system it will later share.
+    SystemConfig config =
+        configFor(llc::Scheme::Unmanaged, num_cores, options);
+    config.num_cores = 1;
+    config.llc.num_cores = 1;
+
+    System system(config, {trace::specProfile(app)});
+    const RunResult result = system.run();
+    const double ipc = result.apps.at(0).ipc;
+    cache.emplace(os.str(), ipc);
+    return ipc;
+}
+
+double
+groupWeightedSpeedup(llc::Scheme scheme,
+                     const trace::WorkloadGroup &group,
+                     const RunOptions &options)
+{
+    const RunResult &shared = runGroup(scheme, group, options);
+    std::vector<double> alone;
+    alone.reserve(group.apps.size());
+    for (const std::string &app : group.apps) {
+        alone.push_back(soloIpc(
+            app, static_cast<std::uint32_t>(group.apps.size()), options));
+    }
+    return weightedSpeedup(shared, alone);
+}
+
+void
+clearRunCache()
+{
+    runCache().clear();
+    soloCache().clear();
+}
+
+RunScale
+scaleFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0 ||
+            std::strcmp(argv[i], "--scale=paper") == 0) {
+            return RunScale::Paper;
+        }
+        if (std::strcmp(argv[i], "--scale=test") == 0) {
+            return RunScale::Test;
+        }
+    }
+    return RunScale::Bench;
+}
+
+} // namespace coopsim::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * High-level experiment runner with in-process memoisation.
+ *
+ * The paper's figures reuse the same simulations many times (the same
+ * 14 workloads under 5 schemes feed Figures 5, 6 and 7, for example).
+ * The runner caches RunResults by configuration so each bench binary
+ * pays for every distinct simulation once.
+ */
+
+#ifndef COOPSIM_SIM_RUNNER_HPP
+#define COOPSIM_SIM_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+#include "trace/workloads.hpp"
+
+namespace coopsim::sim
+{
+
+/** Options shared by the experiment helpers. */
+struct RunOptions
+{
+    RunScale scale = RunScale::Bench;
+    /** Cooperative turn-off threshold T (Fig 11-13 sweeps). */
+    double threshold = 0.05;
+    partition::ThresholdMode threshold_mode =
+        partition::ThresholdMode::MissRatio;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Runs workload @p group under @p scheme on the appropriate system
+ * (two-core for G2-*, four-core for G4-*). Results are memoised.
+ */
+const RunResult &runGroup(llc::Scheme scheme,
+                          const trace::WorkloadGroup &group,
+                          const RunOptions &options = {});
+
+/**
+ * IPC of @p app running alone with the whole LLC (the denominator of
+ * weighted speedup). @p num_cores selects which system's geometry the
+ * solo run uses (2 or 4). Memoised.
+ */
+double soloIpc(const std::string &app, std::uint32_t num_cores,
+               const RunOptions &options = {});
+
+/** Weighted speedup of @p group under @p scheme (Equation 1). */
+double groupWeightedSpeedup(llc::Scheme scheme,
+                            const trace::WorkloadGroup &group,
+                            const RunOptions &options = {});
+
+/** Empties the memoisation cache (tests). */
+void clearRunCache();
+
+/** Parses --full / --scale=paper style bench arguments. */
+RunScale scaleFromArgs(int argc, char **argv);
+
+} // namespace coopsim::sim
+
+#endif // COOPSIM_SIM_RUNNER_HPP

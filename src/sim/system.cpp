@@ -1,0 +1,248 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace coopsim::sim
+{
+
+namespace
+{
+
+/**
+ * Applies the scale preset.
+ *
+ * Reduced scales shrink instructions, epochs AND the LLC set count by
+ * the same factor, keeping the associativity (the partitioning
+ * dimension) untouched. This keeps the run a faithful miniature: the
+ * fixed costs of a reconfiguration (one line per set per moved way,
+ * covering every set to complete a takeover) stay in the same
+ * proportion to the work executed as at paper scale. Way counts,
+ * utility curves and MPKI are scale-invariant by construction.
+ */
+void
+applyScale(SystemConfig &config, RunScale scale)
+{
+    auto resize_sets = [&config](std::uint64_t sets) {
+        cache::CacheGeometry &g = config.llc.geometry;
+        g.size_bytes = sets * g.ways * g.block_bytes;
+    };
+    switch (scale) {
+      case RunScale::Paper:
+        config.insts_per_app = 1'000'000'000;
+        config.epoch_cycles = 5'000'000;
+        config.warmup_insts = 2'000'000;
+        config.llc.stale_transition_cycles = 20'000'000;
+        break;
+      case RunScale::Bench:
+        config.insts_per_app = 8'000'000;
+        config.epoch_cycles = 300'000;
+        config.warmup_insts = 1'200'000;
+        config.llc.flush_series_bin = 30'000;
+        config.llc.umon_sample_period = 4;
+        config.llc.stale_transition_cycles = 1'200'000;
+        resize_sets(512);
+        break;
+      case RunScale::Test:
+        config.insts_per_app = 400'000;
+        config.epoch_cycles = 60'000;
+        config.warmup_insts = 100'000;
+        config.llc.flush_series_bin = 10'000;
+        config.llc.umon_sample_period = 2;
+        config.llc.stale_transition_cycles = 240'000;
+        resize_sets(128);
+        break;
+    }
+}
+
+} // namespace
+
+SystemConfig
+makeTwoCoreConfig(llc::Scheme scheme, RunScale scale)
+{
+    SystemConfig config;
+    config.scheme = scheme;
+    config.num_cores = 2;
+    config.llc.geometry = {2ull << 20, 8, 64};
+    config.llc.num_cores = 2;
+    config.llc.hit_latency = 15;
+    applyScale(config, scale);
+    return config;
+}
+
+SystemConfig
+makeFourCoreConfig(llc::Scheme scheme, RunScale scale)
+{
+    SystemConfig config;
+    config.scheme = scheme;
+    config.num_cores = 4;
+    config.llc.geometry = {4ull << 20, 16, 64};
+    config.llc.num_cores = 4;
+    config.llc.hit_latency = 20;
+    applyScale(config, scale);
+    return config;
+}
+
+System::System(const SystemConfig &config,
+               std::vector<trace::AppProfile> apps)
+    : config_(config), profiles_(std::move(apps)), dram_(config.dram)
+{
+    if (profiles_.size() != config_.num_cores) {
+        COOPSIM_FATAL("config expects ", config_.num_cores,
+                      " applications, got ", profiles_.size());
+    }
+    llc::LlcConfig lc = config_.llc;
+    lc.num_cores = config_.num_cores;
+    lc.seed = config_.seed;
+    llc_ = llc::makeLlc(config_.scheme, lc, dram_);
+
+    trace::StreamGeometry sg;
+    sg.llc_sets = lc.geometry.numSets();
+    sg.block_bytes = lc.geometry.block_bytes;
+
+    // Profiles state phase lengths at paper scale; keep phases spanning
+    // the same number of epochs at reduced scales.
+    const double phase_factor =
+        static_cast<double>(config_.epoch_cycles) / 5'000'000.0;
+
+    for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+        trace::AppProfile scaled = profiles_[c];
+        if (scaled.phase_insts != 0) {
+            scaled.phase_insts = std::max<InstCount>(
+                1, static_cast<InstCount>(
+                       static_cast<double>(scaled.phase_insts) *
+                       phase_factor));
+        }
+        streams_.push_back(std::make_unique<trace::SyntheticStream>(
+            scaled, sg, c, config_.seed + c * 7919));
+        cores_.push_back(std::make_unique<core::TraceCore>(
+            c, config_.core, *llc_, *streams_[c]));
+    }
+}
+
+System::~System() = default;
+
+RunResult
+System::run()
+{
+    const std::uint32_t n = config_.num_cores;
+
+    auto min_core = [&]() {
+        std::uint32_t best = 0;
+        for (std::uint32_t c = 1; c < n; ++c) {
+            if (cores_[c]->cycle() < cores_[best]->cycle()) {
+                best = c;
+            }
+        }
+        return best;
+    };
+
+    // ---- Warm-up: run until every core retired warmup_insts. ------------
+    bool warm = config_.warmup_insts == 0;
+    while (!warm) {
+        cores_[min_core()]->step();
+        warm = true;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            warm = warm && cores_[c]->retired() >= config_.warmup_insts;
+        }
+    }
+    Cycle now = 0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+        now = std::max(now, cores_[c]->cycle());
+        cores_[c]->startMeasurement();
+    }
+    llc_->resetStats(now);
+    dram_.resetStats();
+
+    // ---- Measurement: run to the per-app quota; keep contending. --------
+    Cycle next_epoch =
+        ((now / config_.epoch_cycles) + 1) * config_.epoch_cycles;
+    std::uint32_t done = 0;
+    std::vector<bool> finished(n, false);
+
+    while (done < n) {
+        const std::uint32_t c = min_core();
+
+        // The epoch boundary fires when global time (the minimum core
+        // clock) crosses it; every other core is already past it.
+        if (cores_[c]->cycle() >= next_epoch) {
+            llc_->epoch(next_epoch);
+            next_epoch += config_.epoch_cycles;
+            continue;
+        }
+
+        cores_[c]->step();
+        if (!finished[c] &&
+            cores_[c]->measuredInsts() >= config_.insts_per_app) {
+            cores_[c]->markQuotaReached();
+            finished[c] = true;
+            ++done;
+        }
+    }
+
+    // ---- Collect. --------------------------------------------------------
+    RunResult result;
+    Cycle end = 0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+        end = std::max(end, cores_[c]->cycle());
+    }
+    llc_->integrateStatic(end);
+    result.total_cycles = end;
+
+    for (std::uint32_t c = 0; c < n; ++c) {
+        AppResult app;
+        app.name = profiles_[c].name;
+        app.ipc = cores_[c]->ipc();
+        app.insts = cores_[c]->measuredInsts();
+        app.cycles = cores_[c]->measuredCycles();
+        const auto &cs = llc_->coreStats(c);
+        app.llc_accesses = cs.accesses.value();
+        app.llc_hits = cs.hits.value();
+        app.llc_misses = cs.misses.value();
+        app.mpki = app.insts > 0
+                       ? 1000.0 * static_cast<double>(app.llc_misses) /
+                             static_cast<double>(app.insts)
+                       : 0.0;
+        result.apps.push_back(std::move(app));
+    }
+
+    const auto &totals = llc_->energy().totals();
+    result.dynamic_energy_nj = totals.dynamicPaper();
+    result.data_energy_nj = totals.data_nj;
+    result.static_energy_nj = totals.static_nj;
+    result.avg_ways_probed = llc_->energy().avgWaysProbed();
+
+    const auto &ev = llc_->takeoverEvents();
+    result.donor_hits = ev.donor_hits.value();
+    result.donor_misses = ev.donor_misses.value();
+    result.recipient_hits = ev.recipient_hits.value();
+    result.recipient_misses = ev.recipient_misses.value();
+
+    const auto &durations = llc_->transferDurations();
+    result.completed_transfers = durations.size();
+    if (!durations.empty()) {
+        double sum = 0.0;
+        for (const double d : durations) {
+            sum += d;
+        }
+        result.avg_transfer_cycles =
+            sum / static_cast<double>(durations.size());
+    }
+    result.flushed_lines = llc_->flushedLines();
+    result.repartitions = llc_->repartitions();
+    result.epochs = llc_->epochsRun();
+
+    const auto &series = llc_->flushSeries();
+    result.flush_series_bin = series.binWidth();
+    for (std::size_t b = 0; b < series.bins(); ++b) {
+        result.flush_series.push_back(series.bin(b));
+    }
+
+    result.dram_reads = dram_.stats().reads.value();
+    result.dram_writebacks = dram_.stats().writebacks.value();
+    result.dram_flushes = dram_.stats().flushes.value();
+    return result;
+}
+
+} // namespace coopsim::sim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The top-level simulated system: N cores with private L1s, a shared
+ * partitioned LLC, a banked DRAM, and the interleaved event loop that
+ * the paper's methodology implies (Section 3): cores advance in global
+ * cycle order; partitioning decisions fire every epoch; statistics are
+ * collected from the end of warm-up until each application reaches its
+ * instruction quota; applications keep running (and contending) until
+ * the last one finishes, exactly as the paper describes.
+ */
+
+#ifndef COOPSIM_SIM_SYSTEM_HPP
+#define COOPSIM_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace_core.hpp"
+#include "llc/schemes.hpp"
+#include "mem/dram.hpp"
+#include "trace/generator.hpp"
+
+namespace coopsim::sim
+{
+
+/** Scale presets: paper-faithful or a proportionally shrunk run. */
+enum class RunScale
+{
+    /** Fast runs for tests/benches: 6 M instructions per app, 300 k-
+     *  cycle epochs (same epoch:instruction ratio as the paper). */
+    Bench,
+    /** The paper's scale: 1 B instructions per app, 5 M-cycle epochs.
+     *  Hours of host time; selectable via --full on every bench. */
+    Paper,
+    /** Tiny runs for unit tests. */
+    Test,
+};
+
+/** Complete configuration of one simulation. */
+struct SystemConfig
+{
+    llc::Scheme scheme = llc::Scheme::Cooperative;
+    std::uint32_t num_cores = 2;
+    llc::LlcConfig llc;
+    mem::DramConfig dram;
+    core::CoreConfig core;
+    /** Partitioning/monitoring epoch (paper: 5 M cycles). */
+    Tick epoch_cycles = 5'000'000;
+    /** Instruction quota per application. */
+    InstCount insts_per_app = 1'000'000'000;
+    /** Cache/branch warm-up before measurement starts. */
+    InstCount warmup_insts = 2'000'000;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Builds the paper's two-core configuration (Table 2): 2 MB 8-way LLC,
+ * 15-cycle latency.
+ */
+SystemConfig makeTwoCoreConfig(llc::Scheme scheme, RunScale scale);
+
+/** The paper's four-core configuration: 4 MB 16-way, 20-cycle. */
+SystemConfig makeFourCoreConfig(llc::Scheme scheme, RunScale scale);
+
+/** Per-application results of a run. */
+struct AppResult
+{
+    std::string name;
+    double ipc = 0.0;
+    InstCount insts = 0;
+    Cycle cycles = 0;
+    std::uint64_t llc_accesses = 0;
+    std::uint64_t llc_hits = 0;
+    std::uint64_t llc_misses = 0;
+    /** LLC misses per kilo-instruction over the measured window. */
+    double mpki = 0.0;
+};
+
+/** Whole-run results. */
+struct RunResult
+{
+    std::vector<AppResult> apps;
+    Cycle total_cycles = 0;
+
+    // Energy (LLC), as the paper splits it. dynamic_energy_nj is the
+    // scheme-dependent ("tag side") dynamic energy the paper's figures
+    // report; data_energy_nj is the scheme-independent data-way term.
+    double dynamic_energy_nj = 0.0;
+    double data_energy_nj = 0.0;
+    double static_energy_nj = 0.0;
+    double avg_ways_probed = 0.0;
+
+    // Reconfiguration behaviour (paper Section 5).
+    std::uint64_t donor_hits = 0;
+    std::uint64_t donor_misses = 0;
+    std::uint64_t recipient_hits = 0;
+    std::uint64_t recipient_misses = 0;
+    double avg_transfer_cycles = 0.0;
+    std::uint64_t completed_transfers = 0;
+    std::uint64_t flushed_lines = 0;
+    std::uint64_t repartitions = 0;
+    std::uint64_t epochs = 0;
+    /** Flush traffic vs. time since a decision (Fig 16). */
+    std::vector<std::uint64_t> flush_series;
+    Tick flush_series_bin = 0;
+
+    // DRAM-side totals.
+    std::uint64_t dram_reads = 0;
+    std::uint64_t dram_writebacks = 0;
+    std::uint64_t dram_flushes = 0;
+};
+
+/**
+ * One complete simulated system.
+ */
+class System
+{
+  public:
+    /**
+     * @param config Configuration (num_cores must equal apps.size()).
+     * @param apps   One profile per core.
+     */
+    System(const SystemConfig &config,
+           std::vector<trace::AppProfile> apps);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Runs warm-up + measurement to completion and collects results. */
+    RunResult run();
+
+    /** The LLC (for inspection in tests and examples). */
+    llc::BaseLlc &llc() { return *llc_; }
+    const llc::BaseLlc &llc() const { return *llc_; }
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    std::vector<trace::AppProfile> profiles_;
+    mem::DramModel dram_;
+    std::unique_ptr<llc::BaseLlc> llc_;
+    std::vector<std::unique_ptr<trace::SyntheticStream>> streams_;
+    std::vector<std::unique_ptr<core::TraceCore>> cores_;
+};
+
+} // namespace coopsim::sim
+
+#endif // COOPSIM_SIM_SYSTEM_HPP

@@ -1,0 +1,177 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace coopsim::trace
+{
+
+double
+AppProfile::expectedMissRatio(std::uint32_t ways) const
+{
+    auto phase_miss = [ways](const AppPhase &phase) {
+        double miss = phase.pmf.miss_prob;
+        for (std::uint32_t r = ways; r < kMaxRank; ++r) {
+            miss += phase.pmf.rank[r];
+        }
+        return miss;
+    };
+    if (!hasPhases()) {
+        return phase_miss(primary);
+    }
+    return 0.5 * (phase_miss(primary) + phase_miss(secondary));
+}
+
+std::array<double, kMaxRank + 1>
+buildClassCdf(const RankPmf &pmf)
+{
+    COOPSIM_ASSERT(pmf.miss_prob >= 0.0 && pmf.miss_prob <= 1.0,
+                   "miss_prob out of range");
+    double assigned = pmf.miss_prob;
+    for (std::uint32_t r = 0; r < kMaxRank; ++r) {
+        COOPSIM_ASSERT(pmf.rank[r] >= 0.0, "negative rank probability");
+        assigned += pmf.rank[r];
+    }
+    COOPSIM_ASSERT(assigned <= 1.0 + 1e-9, "rank pmf exceeds 1");
+
+    // Unassigned mass is the hot re-reference traffic: it re-touches
+    // rank 0 (hits under any non-zero allocation).
+    const double hot = std::max(0.0, 1.0 - assigned);
+
+    std::array<double, kMaxRank + 1> cdf{};
+    cdf[0] = pmf.miss_prob;
+    double acc = pmf.miss_prob + hot;
+    for (std::uint32_t r = 0; r < kMaxRank; ++r) {
+        acc += pmf.rank[r];
+        cdf[r + 1] = acc;
+    }
+    cdf[kMaxRank] = 1.0;
+    return cdf;
+}
+
+SyntheticStream::SyntheticStream(const AppProfile &profile,
+                                 const StreamGeometry &geometry,
+                                 std::uint32_t space, std::uint64_t seed)
+    : profile_(profile),
+      geometry_(geometry),
+      slicer_(geometry.llc_sets, geometry.block_bytes),
+      rng_(seed ^ (0x9e3779b97f4a7c15ull * (space + 1))),
+      space_base_(static_cast<Addr>(space + 1) << 44),
+      lists_(geometry.llc_sets),
+      list_sizes_(geometry.llc_sets, 0)
+{
+    COOPSIM_ASSERT(profile.primary.apki > 0.0, "apki must be positive");
+    cdf_primary_ = buildClassCdf(profile.primary.pmf);
+    cdf_secondary_ = profile.hasPhases()
+                         ? buildClassCdf(profile.secondary.pmf)
+                         : cdf_primary_;
+}
+
+const AppPhase &
+SyntheticStream::currentPhase() const
+{
+    if (!profile_.hasPhases()) {
+        return profile_.primary;
+    }
+    const InstCount phase_no = generated_insts_ / profile_.phase_insts;
+    return (phase_no % 2 == 0) ? profile_.primary : profile_.secondary;
+}
+
+Addr
+SyntheticStream::newBlock(SetId set)
+{
+    // Compose a fresh block that maps to @p set: the block number
+    // provides the tag bits, the set index is forced.
+    const Addr tag_part = next_block_++;
+    const Addr addr =
+        space_base_ |
+        (tag_part << (slicer_.blockBits() + slicer_.setBits())) |
+        (static_cast<Addr>(set) << slicer_.blockBits());
+    return addr;
+}
+
+void
+SyntheticStream::touch(SetId set, Addr addr)
+{
+    auto &list = lists_[set];
+    std::uint8_t &size = list_sizes_[set];
+
+    // Find the address (it may be absent for brand-new blocks).
+    std::uint32_t pos = size;
+    for (std::uint32_t i = 0; i < size; ++i) {
+        if (list[i] == addr) {
+            pos = i;
+            break;
+        }
+    }
+    if (pos == size && size < list.size()) {
+        ++size;
+        pos = size - 1;
+    } else if (pos == size) {
+        pos = static_cast<std::uint32_t>(list.size()) - 1;
+    }
+    // Shift [0, pos) down by one; place addr at rank 0.
+    for (std::uint32_t i = pos; i > 0; --i) {
+        list[i] = list[i - 1];
+    }
+    list[0] = addr;
+}
+
+core::MemOp
+SyntheticStream::next()
+{
+    const bool in_primary =
+        !profile_.hasPhases() ||
+        ((generated_insts_ / profile_.phase_insts) % 2 == 0);
+    const AppPhase &phase = in_primary ? profile_.primary
+                                       : profile_.secondary;
+    const auto &cdf = in_primary ? cdf_primary_ : cdf_secondary_;
+
+    // Gap between LLC accesses: geometric with mean 1000/apki - 1,
+    // giving naturally bursty arrivals (the source of overlapping
+    // misses the OoO model exploits).
+    const double p = std::min(1.0, phase.apki / 1000.0);
+    const InstCount gap = rng_.nextGeometric(p);
+
+    // Pick the access class: 0 = new block, k = recency rank k-1.
+    const auto cls = rng_.nextFromCdf(cdf.data(), kMaxRank + 1);
+
+    Addr addr = 0;
+    if (cls == 0) {
+        const SetId set = static_cast<SetId>(
+            rng_.nextBelow(geometry_.llc_sets));
+        addr = newBlock(set);
+        touch(set, addr);
+    } else {
+        const std::uint32_t rank = cls - 1;
+        // Find a set whose list is deep enough; sample a few times and
+        // fall back to a new block during cold start.
+        addr = 0;
+        for (int attempt = 0; attempt < 4 && addr == 0; ++attempt) {
+            const SetId set = static_cast<SetId>(
+                rng_.nextBelow(geometry_.llc_sets));
+            if (list_sizes_[set] > rank) {
+                addr = lists_[set][rank];
+                touch(set, addr);
+            }
+        }
+        if (addr == 0) {
+            const SetId set = static_cast<SetId>(
+                rng_.nextBelow(geometry_.llc_sets));
+            addr = newBlock(set);
+            touch(set, addr);
+        }
+    }
+
+    core::MemOp op;
+    op.gap_insts = gap;
+    op.addr = addr;
+    op.type = rng_.nextBool(profile_.write_fraction) ? AccessType::Write
+                                                     : AccessType::Read;
+    op.llc_level = true;
+    generated_insts_ += gap + 1;
+    return op;
+}
+
+} // namespace coopsim::trace

@@ -1,0 +1,246 @@
+#include "trace/spec_profiles.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace coopsim::trace
+{
+
+namespace
+{
+
+/**
+ * Adds @p mass over ranks [lo, hi] with geometric decay @p q per rank.
+ * Real miss curves are convex — steep gains for the first ways, then a
+ * long flat tail — which is what makes the paper's threshold meaningful
+ * (it trims low-utility tail ways without hurting the steep head).
+ */
+void
+decaySpread(RankPmf &pmf, std::uint32_t lo, std::uint32_t hi, double mass,
+            double q)
+{
+    COOPSIM_ASSERT(lo <= hi && hi < kMaxRank, "bad rank range");
+    COOPSIM_ASSERT(q > 0.0 && q <= 1.0, "decay factor out of range");
+    double norm = 0.0;
+    double w = 1.0;
+    for (std::uint32_t r = lo; r <= hi; ++r) {
+        norm += w;
+        w *= q;
+    }
+    w = 1.0;
+    for (std::uint32_t r = lo; r <= hi; ++r) {
+        pmf.rank[r] += mass * w / norm;
+        w *= q;
+    }
+}
+
+/** One phase from a miss floor plus decayed reuse spans. */
+struct Span
+{
+    std::uint32_t lo;
+    std::uint32_t hi;
+    double mass;
+    double q;
+};
+
+AppPhase
+shape(double miss_prob, std::initializer_list<Span> spans)
+{
+    AppPhase p;
+    p.pmf.miss_prob = miss_prob;
+    for (const Span &s : spans) {
+        decaySpread(p.pmf, s.lo, s.hi, s.mass, s.q);
+    }
+    return p;
+}
+
+/**
+ * Builds a profile whose *solo* MPKI on the paper's two-core LLC
+ * (8 ways) equals the Table 3 figure: the access rate is derived from
+ * the shape, apki = MPKI / missRatio(8 ways).
+ */
+AppProfile
+calibrated(std::string name, double write_frac, double table3,
+           AppPhase primary, AppPhase secondary = AppPhase{},
+           InstCount period = 0)
+{
+    AppProfile profile;
+    profile.name = std::move(name);
+    profile.write_fraction = write_frac;
+    profile.table3_mpki = table3;
+    profile.primary = std::move(primary);
+    profile.secondary = std::move(secondary);
+    profile.phase_insts = period;
+
+    const double mr8 = profile.expectedMissRatio(8);
+    COOPSIM_ASSERT(mr8 > 0.0, "shape with zero miss ratio at 8 ways");
+    const double apki = table3 / mr8;
+    profile.primary.apki = apki;
+    profile.secondary.apki = apki;
+    return profile;
+}
+
+std::map<std::string, AppProfile>
+buildProfiles()
+{
+    std::map<std::string, AppProfile> t;
+    auto put = [&t](AppProfile p) { t.emplace(p.name, std::move(p)); };
+
+    // Shape guide. Each app = a miss floor (streaming/capacity traffic
+    // that misses under any allocation) + a *utility span* over ranks
+    // 1..k-1 whose per-rank weights sit between ~0.055 and ~0.12 of
+    // accesses + an implicit hot rank-0 remainder. The result is the
+    // knee-shaped miss curve real applications have: the app wants k
+    // ways, each worth more than the paper's default T = 0.05, and
+    // nothing beyond. T = 0.1/0.2 cuts into the spans (Fig 11), T
+    // <= 0.05 does not. Way appetites follow the paper's anecdotes:
+    // gcc's big phase wants ~7 ways (Section 4.2), G2-2 leaves ~half
+    // the cache off, G2-3 runs on ~2 active ways per access.
+
+    // ---- High MPKI (> 5) -------------------------------------------------
+    // gobmk: heavy traffic, shallow reuse; appetite drifts 3<->4 ways
+    // across long phases (real curves wobble epoch to epoch, which is
+    // what makes the paper's Figs 14/15 takeover traffic ubiquitous);
+    // thrashes when unmanaged next to reuse-friendly apps.
+    put(calibrated("gobmk", 0.25, 9.0,
+                   shape(0.46, {{1, 2, 0.17, 0.90}}),
+                   shape(0.46, {{1, 3, 0.24, 0.90}}), 45'000'000));
+    // lbm: streamer — reuse confined to the hottest ranks (~2 ways).
+    put(calibrated("lbm", 0.45, 20.1,
+                   shape(0.62, {{1, 1, 0.10, 1.0}})));
+    // sjeng: thrasher; appetite drifts 4<->3 ways.
+    put(calibrated("sjeng", 0.20, 9.5,
+                   shape(0.40, {{1, 3, 0.22, 0.90}}),
+                   shape(0.40, {{1, 2, 0.16, 0.90}}), 55'000'000));
+    // soplex: heavy traffic with real reuse, drifting 4<->5 ways.
+    put(calibrated("soplex", 0.30, 18.0,
+                   shape(0.45, {{1, 3, 0.24, 0.88}}),
+                   shape(0.45, {{1, 4, 0.30, 0.90}}), 35'000'000));
+
+    // ---- Medium MPKI (1..5) ----------------------------------------------
+    // astar: phase-changing appetite, ~3 then ~6 ways; the big phase's
+    // utilities clear T = 0.05, so Cooperative genuinely migrates ways
+    // when astar's phase flips (Section 4.1).
+    put(calibrated("astar", 0.30, 4.8,
+                   shape(0.18, {{1, 2, 0.15, 0.90}}),
+                   shape(0.25, {{1, 5, 0.32, 0.95}}), 40'000'000));
+    // bzip2: phase-changing, but the big phase's per-way utility sits
+    // just *below* T = 0.05: Cooperative holds its allocation steady
+    // (and keeps its energy savings, Fig 6 discussion), UCP adapts,
+    // CPE flaps and pays flush costs.
+    put(calibrated("bzip2", 0.35, 3.2,
+                   shape(0.15, {{1, 2, 0.14, 0.90}}),
+                   shape(0.22, {{1, 2, 0.14, 0.90}, {3, 5, 0.02, 0.90}}),
+                   30'000'000));
+    // calculix: mostly L1-resident; ~2 ways.
+    put(calibrated("calculix", 0.20, 1.1,
+                   shape(0.12, {{1, 1, 0.10, 1.0}})));
+    // gcc: phase-changing; the large phase truly wants ~7 ways
+    // (Section 4.2: "gcc which obtains 7 ways on average").
+    put(calibrated("gcc", 0.30, 4.92,
+                   shape(0.15, {{1, 2, 0.13, 0.90}}),
+                   shape(0.18, {{1, 6, 0.40, 0.95}}), 50'000'000));
+    // libquantum: streamer, ~2 ways.
+    put(calibrated("libquantum", 0.25, 3.4,
+                   shape(0.33, {{1, 1, 0.10, 1.0}})));
+    // mcf: pointer chasing; drifts 4<->5 ways.
+    put(calibrated("mcf", 0.30, 4.8,
+                   shape(0.25, {{1, 3, 0.22, 0.90}}),
+                   shape(0.25, {{1, 4, 0.28, 0.90}}), 25'000'000));
+
+    // ---- Low MPKI (< 1) --------------------------------------------------
+    put(calibrated("dealII", 0.25, 0.8,
+                   shape(0.10, {{1, 2, 0.16, 0.90}})));
+    put(calibrated("gromacs", 0.20, 0.32,
+                   shape(0.07, {{1, 1, 0.09, 1.0}})));
+    put(calibrated("h264ref", 0.30, 0.89,
+                   shape(0.12, {{1, 2, 0.15, 0.90}})));
+    // milc: low access rate but streaming behaviour, ~2 ways.
+    put(calibrated("milc", 0.35, 0.96,
+                   shape(0.30, {{1, 1, 0.10, 1.0}})));
+    put(calibrated("namd", 0.20, 0.25,
+                   shape(0.07, {{1, 1, 0.09, 1.0}})));
+    put(calibrated("omnetpp", 0.30, 0.26,
+                   shape(0.06, {{1, 2, 0.12, 0.90}})));
+    // perlbench: low traffic but rewards a large share (~6 ways).
+    put(calibrated("perlbench", 0.30, 0.98,
+                   shape(0.12, {{1, 5, 0.40, 0.93}})));
+    // povray: tiny footprint, phase-changing; like bzip2, its larger
+    // phase's utilities fall below T = 0.05 (Section 4.1).
+    put(calibrated("povray", 0.20, 0.10,
+                   shape(0.03, {{1, 1, 0.12, 1.0}}),
+                   shape(0.04, {{1, 1, 0.12, 1.0}, {2, 4, 0.02, 0.90}}),
+                   20'000'000));
+    put(calibrated("xalan", 0.30, 0.60,
+                   shape(0.10, {{1, 2, 0.15, 0.90}})));
+
+    return t;
+}
+
+const std::map<std::string, AppProfile> &
+profiles()
+{
+    static const std::map<std::string, AppProfile> table = buildProfiles();
+    return table;
+}
+
+} // namespace
+
+const AppProfile &
+specProfile(const std::string &name)
+{
+    const auto &table = profiles();
+    const auto it = table.find(name);
+    if (it == table.end()) {
+        COOPSIM_FATAL("unknown benchmark: ", name);
+    }
+    return it->second;
+}
+
+const std::vector<std::string> &
+allSpecApps()
+{
+    static const std::vector<std::string> names = {
+        // Table 3 order: High, Medium, Low.
+        "gobmk", "lbm", "sjeng", "soplex",
+        "astar", "bzip2", "calculix", "gcc", "libquantum", "mcf",
+        "dealII", "gromacs", "h264ref", "milc", "namd", "omnetpp",
+        "perlbench", "povray", "xalan",
+    };
+    return names;
+}
+
+MpkiClass
+mpkiClassOf(const std::string &name)
+{
+    return classifyMpki(specProfile(name).table3_mpki);
+}
+
+MpkiClass
+classifyMpki(double mpki)
+{
+    if (mpki > 5.0) {
+        return MpkiClass::High;
+    }
+    if (mpki > 1.0) {
+        return MpkiClass::Medium;
+    }
+    return MpkiClass::Low;
+}
+
+const char *
+mpkiClassName(MpkiClass cls)
+{
+    switch (cls) {
+      case MpkiClass::High:
+        return "High";
+      case MpkiClass::Medium:
+        return "Medium";
+      case MpkiClass::Low:
+        return "Low";
+    }
+    return "?";
+}
+
+} // namespace coopsim::trace

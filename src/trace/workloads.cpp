@@ -1,0 +1,79 @@
+#include "trace/workloads.hpp"
+
+#include "common/logging.hpp"
+
+namespace coopsim::trace
+{
+
+const std::vector<WorkloadGroup> &
+twoCoreGroups()
+{
+    static const std::vector<WorkloadGroup> groups = {
+        {"G2-1", {"soplex", "namd"}},
+        {"G2-2", {"soplex", "milc"}},
+        {"G2-3", {"gobmk", "h264ref"}},
+        {"G2-4", {"lbm", "povray"}},
+        {"G2-5", {"gobmk", "perlbench"}},
+        {"G2-6", {"lbm", "bzip2"}},
+        {"G2-7", {"lbm", "astar"}},
+        {"G2-8", {"lbm", "soplex"}},
+        {"G2-9", {"soplex", "dealII"}},
+        {"G2-10", {"sjeng", "calculix"}},
+        {"G2-11", {"sjeng", "xalan"}},
+        {"G2-12", {"soplex", "gcc"}},
+        {"G2-13", {"sjeng", "povray"}},
+        {"G2-14", {"gobmk", "omnetpp"}},
+    };
+    return groups;
+}
+
+const std::vector<WorkloadGroup> &
+fourCoreGroups()
+{
+    static const std::vector<WorkloadGroup> groups = {
+        {"G4-1", {"gobmk", "gcc", "perlbench", "xalan"}},
+        {"G4-2", {"sjeng", "lbm", "calculix", "omnetpp"}},
+        {"G4-3", {"dealII", "sjeng", "soplex", "namd"}},
+        {"G4-4", {"soplex", "sjeng", "h264ref", "astar"}},
+        {"G4-5", {"lbm", "libquantum", "gromacs", "mcf"}},
+        {"G4-6", {"gobmk", "libquantum", "namd", "perlbench"}},
+        {"G4-7", {"lbm", "sjeng", "povray", "omnetpp"}},
+        {"G4-8", {"lbm", "soplex", "h264ref", "dealII"}},
+        {"G4-9", {"lbm", "xalan", "milc", "soplex"}},
+        {"G4-10", {"sjeng", "povray", "milc", "gobmk"}},
+        {"G4-11", {"gobmk", "libquantum", "h264ref", "gromacs"}},
+        {"G4-12", {"soplex", "astar", "omnetpp", "milc"}},
+        {"G4-13", {"soplex", "gcc", "libquantum", "xalan"}},
+        {"G4-14", {"soplex", "bzip2", "astar", "milc"}},
+    };
+    return groups;
+}
+
+const WorkloadGroup &
+groupByName(const std::string &name)
+{
+    for (const auto &g : twoCoreGroups()) {
+        if (g.name == name) {
+            return g;
+        }
+    }
+    for (const auto &g : fourCoreGroups()) {
+        if (g.name == name) {
+            return g;
+        }
+    }
+    COOPSIM_FATAL("unknown workload group: ", name);
+}
+
+std::vector<AppProfile>
+groupProfiles(const WorkloadGroup &group)
+{
+    std::vector<AppProfile> profiles;
+    profiles.reserve(group.apps.size());
+    for (const std::string &app : group.apps) {
+        profiles.push_back(specProfile(app));
+    }
+    return profiles;
+}
+
+} // namespace coopsim::trace

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's Table 4 workload groups: fourteen two-application and
+ * fourteen four-application mixes of the Table 3 benchmarks.
+ */
+
+#ifndef COOPSIM_TRACE_WORKLOADS_HPP
+#define COOPSIM_TRACE_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/spec_profiles.hpp"
+
+namespace coopsim::trace
+{
+
+/** One workload group (a row of Table 4). */
+struct WorkloadGroup
+{
+    std::string name;                   //!< e.g. "G2-3"
+    std::vector<std::string> apps;      //!< benchmark names
+};
+
+/** All two-application groups, G2-1 .. G2-14. */
+const std::vector<WorkloadGroup> &twoCoreGroups();
+
+/** All four-application groups, G4-1 .. G4-14. */
+const std::vector<WorkloadGroup> &fourCoreGroups();
+
+/** Finds a group by name ("G2-7", "G4-13"); fatal() if unknown. */
+const WorkloadGroup &groupByName(const std::string &name);
+
+/** Resolves a group's profiles. */
+std::vector<AppProfile> groupProfiles(const WorkloadGroup &group);
+
+} // namespace coopsim::trace
+
+#endif // COOPSIM_TRACE_WORKLOADS_HPP

@@ -1,0 +1,117 @@
+#include "umon/umon.hpp"
+
+#include "common/logging.hpp"
+
+namespace coopsim::umon
+{
+
+UtilityMonitor::UtilityMonitor(const UmonConfig &config)
+    : config_(config),
+      slicer_(config.llc_sets, config.block_bytes),
+      position_hits_(config.llc_ways, 0)
+{
+    COOPSIM_ASSERT(config.sample_period > 0, "zero sample period");
+    COOPSIM_ASSERT(config.llc_sets % config.sample_period == 0,
+                   "sample period must divide set count");
+    const std::uint32_t sampled_sets =
+        config.llc_sets / config.sample_period;
+    atd_.assign(static_cast<std::size_t>(sampled_sets) * config.llc_ways,
+                AtdEntry{});
+}
+
+void
+UtilityMonitor::access(Addr addr)
+{
+    ++accesses_;
+    const SetId set = slicer_.set(addr);
+    if (!sampled(set)) {
+        return;
+    }
+    ++sampled_refs_;
+
+    const Addr tag = slicer_.tag(addr);
+    AtdEntry *entries = atdSet(set / config_.sample_period);
+    const std::uint32_t ways = config_.llc_ways;
+
+    // Probe, remembering the LRU victim in case of a miss.
+    std::uint32_t hit_way = ways;
+    std::uint32_t victim = 0;
+    std::uint64_t victim_lru = kCycleMax;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const AtdEntry &e = entries[w];
+        if (e.valid && e.tag == tag) {
+            hit_way = w;
+            break;
+        }
+        if (!e.valid) {
+            victim = w;
+            victim_lru = 0;
+        } else if (e.lru < victim_lru) {
+            victim = w;
+            victim_lru = e.lru;
+        }
+    }
+
+    if (hit_way < ways) {
+        // Recency position = number of entries more recent than this
+        // one; MRU has position 0.
+        std::uint32_t position = 0;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (w != hit_way && entries[w].valid &&
+                entries[w].lru > entries[hit_way].lru) {
+                ++position;
+            }
+        }
+        ++position_hits_[position];
+        entries[hit_way].lru = ++lru_clock_;
+        return;
+    }
+
+    ++misses_;
+    entries[victim] = {tag, true, ++lru_clock_};
+}
+
+std::vector<double>
+UtilityMonitor::missCurve() const
+{
+    const std::uint32_t ways = config_.llc_ways;
+    const double scale = static_cast<double>(config_.sample_period);
+
+    // Hits measured in the sampled ATD generalise to the whole cache
+    // by multiplying by the sampling period; the *unsampled* misses are
+    // approximated the same way. Using sampled counters uniformly keeps
+    // the curve internally consistent.
+    std::vector<double> curve(ways + 1, 0.0);
+    double tail = static_cast<double>(misses_);
+    curve[ways] = tail * scale;
+    for (std::uint32_t w = ways; w-- > 0;) {
+        tail += static_cast<double>(position_hits_[w]);
+        curve[w] = tail * scale;
+    }
+    return curve;
+}
+
+void
+UtilityMonitor::decay()
+{
+    for (auto &h : position_hits_) {
+        h >>= 1;
+    }
+    misses_ >>= 1;
+    accesses_ >>= 1;
+    sampled_refs_ >>= 1;
+}
+
+void
+UtilityMonitor::reset()
+{
+    for (auto &e : atd_) {
+        e = AtdEntry{};
+    }
+    position_hits_.assign(position_hits_.size(), 0);
+    misses_ = 0;
+    accesses_ = 0;
+    sampled_refs_ = 0;
+}
+
+} // namespace coopsim::umon

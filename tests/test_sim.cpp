@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the simulation driver: configurations, metrics, runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+using namespace coopsim;
+using namespace coopsim::sim;
+
+TEST(SystemConfigs, TwoCoreMatchesPaperTable2)
+{
+    const SystemConfig c =
+        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Paper);
+    EXPECT_EQ(c.num_cores, 2u);
+    EXPECT_EQ(c.llc.geometry.size_bytes, 2ull << 20);
+    EXPECT_EQ(c.llc.geometry.ways, 8u);
+    EXPECT_EQ(c.llc.geometry.block_bytes, 64u);
+    EXPECT_EQ(c.llc.hit_latency, 15u);
+    EXPECT_EQ(c.epoch_cycles, 5'000'000u);
+    EXPECT_EQ(c.insts_per_app, 1'000'000'000u);
+    EXPECT_EQ(c.core.width, 4u);
+    EXPECT_EQ(c.core.rob, 128u);
+    EXPECT_EQ(c.core.l1.size_bytes, 32ull << 10);
+    EXPECT_EQ(c.core.l1.ways, 4u);
+    EXPECT_EQ(c.dram.banks, 8u);
+    EXPECT_EQ(c.dram.access_latency, 400u);
+    EXPECT_EQ(c.dram.max_outstanding, 64u);
+}
+
+TEST(SystemConfigs, FourCoreMatchesPaperTable2)
+{
+    const SystemConfig c =
+        makeFourCoreConfig(llc::Scheme::Ucp, RunScale::Paper);
+    EXPECT_EQ(c.num_cores, 4u);
+    EXPECT_EQ(c.llc.geometry.size_bytes, 4ull << 20);
+    EXPECT_EQ(c.llc.geometry.ways, 16u);
+    EXPECT_EQ(c.llc.hit_latency, 20u);
+}
+
+TEST(SystemConfigs, ReducedScalesShrinkSetsNotWays)
+{
+    const SystemConfig paper =
+        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Paper);
+    const SystemConfig bench =
+        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Bench);
+    EXPECT_EQ(bench.llc.geometry.ways, paper.llc.geometry.ways);
+    EXPECT_LT(bench.llc.geometry.size_bytes,
+              paper.llc.geometry.size_bytes);
+    EXPECT_LT(bench.insts_per_app, paper.insts_per_app);
+    EXPECT_LT(bench.epoch_cycles, paper.epoch_cycles);
+    // The epoch:instruction ratio stays within the same order.
+    const double paper_ratio =
+        static_cast<double>(paper.epoch_cycles) /
+        static_cast<double>(paper.insts_per_app);
+    const double bench_ratio =
+        static_cast<double>(bench.epoch_cycles) /
+        static_cast<double>(bench.insts_per_app);
+    EXPECT_LT(bench_ratio / paper_ratio, 10.0);
+    EXPECT_GT(bench_ratio / paper_ratio, 0.1);
+}
+
+TEST(Metrics, WeightedSpeedupIsEquationOne)
+{
+    RunResult shared;
+    AppResult a;
+    a.ipc = 0.5;
+    AppResult b;
+    b.ipc = 1.0;
+    shared.apps = {a, b};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(shared, {1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(weightedSpeedup(shared, {0.5, 1.0}), 2.0);
+}
+
+TEST(Metrics, Normalisation)
+{
+    EXPECT_DOUBLE_EQ(normalizeTo(3.0, 2.0), 1.5);
+    const auto out = normalizeSeries({2.0, 6.0}, {4.0, 3.0});
+    EXPECT_DOUBLE_EQ(out[0], 0.5);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Runner, ScaleFromArgsParsesFlags)
+{
+    const char *full[] = {"bench", "--full"};
+    EXPECT_EQ(scaleFromArgs(2, const_cast<char **>(full)),
+              RunScale::Paper);
+    const char *test_scale[] = {"bench", "--scale=test"};
+    EXPECT_EQ(scaleFromArgs(2, const_cast<char **>(test_scale)),
+              RunScale::Test);
+    const char *none[] = {"bench"};
+    EXPECT_EQ(scaleFromArgs(1, const_cast<char **>(none)),
+              RunScale::Bench);
+}
+
+TEST(Runner, MemoisesIdenticalRuns)
+{
+    clearRunCache();
+    RunOptions options;
+    options.scale = RunScale::Test;
+    const auto &group = trace::groupByName("G2-10");
+    const RunResult &a = runGroup(llc::Scheme::FairShare, group, options);
+    const RunResult &b = runGroup(llc::Scheme::FairShare, group, options);
+    EXPECT_EQ(&a, &b); // same cached object
+}
+
+TEST(Runner, DistinctOptionsAreDistinctRuns)
+{
+    clearRunCache();
+    RunOptions a;
+    a.scale = RunScale::Test;
+    RunOptions b = a;
+    b.threshold = 0.2;
+    const auto &group = trace::groupByName("G2-10");
+    const RunResult &ra =
+        runGroup(llc::Scheme::Cooperative, group, a);
+    const RunResult &rb =
+        runGroup(llc::Scheme::Cooperative, group, b);
+    EXPECT_NE(&ra, &rb);
+}
+
+TEST(Runner, SoloIpcIsPositiveAndCached)
+{
+    RunOptions options;
+    options.scale = RunScale::Test;
+    const double ipc = soloIpc("h264ref", 2, options);
+    EXPECT_GT(ipc, 0.0);
+    EXPECT_LE(ipc, 4.0); // bounded by the issue width
+    EXPECT_DOUBLE_EQ(soloIpc("h264ref", 2, options), ipc);
+}
+
+TEST(System, RunProducesConsistentResults)
+{
+    SystemConfig config =
+        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Test);
+    System system(config, trace::groupProfiles(
+                              trace::groupByName("G2-10")));
+    const RunResult result = system.run();
+
+    ASSERT_EQ(result.apps.size(), 2u);
+    for (const AppResult &app : result.apps) {
+        EXPECT_GE(app.insts, config.insts_per_app);
+        EXPECT_GT(app.ipc, 0.0);
+        EXPECT_LE(app.ipc, 4.0);
+        EXPECT_EQ(app.llc_hits + app.llc_misses, app.llc_accesses);
+        EXPECT_GT(app.llc_accesses, 0u);
+    }
+    EXPECT_GT(result.total_cycles, 0u);
+    EXPECT_GT(result.dynamic_energy_nj, 0.0);
+    EXPECT_GT(result.static_energy_nj, 0.0);
+    EXPECT_GT(result.avg_ways_probed, 0.0);
+    EXPECT_LE(result.avg_ways_probed, 8.0);
+    EXPECT_GT(result.epochs, 0u);
+}
+
+TEST(System, DeterministicAcrossIdenticalRuns)
+{
+    SystemConfig config =
+        makeTwoCoreConfig(llc::Scheme::Ucp, RunScale::Test);
+    const auto profiles =
+        trace::groupProfiles(trace::groupByName("G2-11"));
+    System a(config, profiles);
+    System b(config, profiles);
+    const RunResult ra = a.run();
+    const RunResult rb = b.run();
+    EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+    for (std::size_t i = 0; i < ra.apps.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra.apps[i].ipc, rb.apps[i].ipc);
+        EXPECT_EQ(ra.apps[i].llc_misses, rb.apps[i].llc_misses);
+    }
+    EXPECT_DOUBLE_EQ(ra.dynamic_energy_nj, rb.dynamic_energy_nj);
+}
+
+TEST(System, SeedChangesTheRun)
+{
+    SystemConfig config =
+        makeTwoCoreConfig(llc::Scheme::FairShare, RunScale::Test);
+    const auto profiles =
+        trace::groupProfiles(trace::groupByName("G2-11"));
+    System a(config, profiles);
+    config.seed = 777;
+    System b(config, profiles);
+    EXPECT_NE(a.run().total_cycles, b.run().total_cycles);
+}
+
+TEST(System, MismatchedAppCountIsFatal)
+{
+    setThrowOnFatal(true);
+    SystemConfig config =
+        makeTwoCoreConfig(llc::Scheme::FairShare, RunScale::Test);
+    EXPECT_THROW(System(config, {trace::specProfile("lbm")}),
+                 FatalError);
+    setThrowOnFatal(false);
+}
+
+TEST(System, FourCoreRunsToCompletion)
+{
+    SystemConfig config =
+        makeFourCoreConfig(llc::Scheme::Cooperative, RunScale::Test);
+    System system(config, trace::groupProfiles(
+                              trace::groupByName("G4-3")));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.apps.size(), 4u);
+    EXPECT_LE(result.avg_ways_probed, 16.0);
+}

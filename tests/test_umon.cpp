@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the utility monitors (UMON).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "umon/umon.hpp"
+
+using namespace coopsim;
+using umon::UmonConfig;
+using umon::UtilityMonitor;
+
+namespace
+{
+
+UmonConfig
+fullSampling()
+{
+    UmonConfig config;
+    config.llc_sets = 16;
+    config.llc_ways = 4;
+    config.block_bytes = 64;
+    config.sample_period = 1;
+    return config;
+}
+
+Addr
+makeAddr(Addr tag, SetId set)
+{
+    return (tag << (6 + 4)) | (static_cast<Addr>(set) << 6);
+}
+
+} // namespace
+
+TEST(Umon, FirstTouchesAreMisses)
+{
+    UtilityMonitor umon(fullSampling());
+    for (int i = 0; i < 4; ++i) {
+        umon.access(makeAddr(i, 0));
+    }
+    EXPECT_EQ(umon.missCount(), 4u);
+    EXPECT_EQ(umon.accessCount(), 4u);
+}
+
+TEST(Umon, RecencyPositionsAreExact)
+{
+    UtilityMonitor umon(fullSampling());
+    // Touch A, B, C then re-touch A: A is at stack position 2.
+    umon.access(makeAddr(1, 0));
+    umon.access(makeAddr(2, 0));
+    umon.access(makeAddr(3, 0));
+    umon.access(makeAddr(1, 0));
+    const auto &hits = umon.positionHits();
+    EXPECT_EQ(hits[2], 1u);
+    EXPECT_EQ(hits[0], 0u);
+    EXPECT_EQ(hits[1], 0u);
+
+    // Re-touch A immediately: now position 0.
+    umon.access(makeAddr(1, 0));
+    EXPECT_EQ(umon.positionHits()[0], 1u);
+}
+
+TEST(Umon, MissCurveEndpoints)
+{
+    UtilityMonitor umon(fullSampling());
+    umon.access(makeAddr(1, 0));
+    umon.access(makeAddr(1, 0)); // position-0 hit
+    umon.access(makeAddr(2, 0));
+
+    const std::vector<double> curve = umon.missCurve();
+    ASSERT_EQ(curve.size(), 5u);
+    // With zero ways every reference misses.
+    EXPECT_DOUBLE_EQ(curve[0], 3.0);
+    // With full associativity only the true misses remain.
+    EXPECT_DOUBLE_EQ(curve[4], 2.0);
+}
+
+TEST(Umon, MissCurveIsMonotoneNonIncreasing)
+{
+    UtilityMonitor umon(fullSampling());
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        umon.access(makeAddr(rng.nextBelow(12), rng.nextBelow(16)));
+    }
+    const auto curve = umon.missCurve();
+    for (std::size_t w = 1; w < curve.size(); ++w) {
+        EXPECT_LE(curve[w], curve[w - 1]);
+    }
+}
+
+TEST(Umon, CurveMatchesIdealLruSimulation)
+{
+    // Replay a stream through the monitor and through explicit LRU
+    // caches of each associativity: the curve must match exactly when
+    // sampling is 1:1 (the LRU stack property, Mattson et al.).
+    UtilityMonitor umon(fullSampling());
+    Rng rng(7);
+    std::vector<Addr> stream;
+    for (int i = 0; i < 8000; ++i) {
+        stream.push_back(makeAddr(rng.nextBelow(10), rng.nextBelow(16)));
+    }
+    for (const Addr a : stream) {
+        umon.access(a);
+    }
+
+    for (std::uint32_t ways = 1; ways <= 4; ++ways) {
+        // Simple explicit per-set LRU model.
+        std::vector<std::vector<Addr>> sets(16);
+        std::uint64_t misses = 0;
+        for (const Addr a : stream) {
+            auto &list = sets[(a >> 6) & 15];
+            bool hit = false;
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (list[i] == a) {
+                    list.erase(list.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                    hit = true;
+                    break;
+                }
+            }
+            if (!hit) {
+                ++misses;
+            }
+            list.insert(list.begin(), a);
+            if (list.size() > ways) {
+                list.pop_back();
+            }
+        }
+        EXPECT_DOUBLE_EQ(umon.missCurve()[ways],
+                         static_cast<double>(misses))
+            << "ways=" << ways;
+    }
+}
+
+TEST(Umon, SamplingScalesCurveBack)
+{
+    UmonConfig config = fullSampling();
+    config.llc_sets = 64;
+    config.sample_period = 4;
+    UtilityMonitor umon(config);
+
+    // Uniform traffic over all sets: the scaled miss estimate should
+    // be close to the true count.
+    Rng rng(11);
+    std::uint64_t true_misses_proxy = 0;
+    for (int i = 0; i < 40000; ++i) {
+        const Addr a = makeAddr(rng.nextBelow(200), rng.nextBelow(64));
+        umon.access(a);
+        ++true_misses_proxy;
+    }
+    // Nearly every access misses (200 tags over 64x4 frames per set).
+    const double estimated = umon.missCurve()[4];
+    EXPECT_NEAR(estimated, static_cast<double>(true_misses_proxy),
+                0.15 * static_cast<double>(true_misses_proxy));
+}
+
+TEST(Umon, OnlySampledSetsUpdateAtd)
+{
+    UmonConfig config = fullSampling();
+    config.llc_sets = 16;
+    config.sample_period = 4;
+    UtilityMonitor umon(config);
+    EXPECT_TRUE(umon.sampled(0));
+    EXPECT_FALSE(umon.sampled(1));
+    EXPECT_TRUE(umon.sampled(4));
+
+    umon.access(makeAddr(1, 1)); // unsampled
+    EXPECT_EQ(umon.missCount(), 0u);
+    EXPECT_EQ(umon.accessCount(), 1u);
+    umon.access(makeAddr(1, 4)); // sampled
+    EXPECT_EQ(umon.missCount(), 1u);
+}
+
+TEST(Umon, DecayHalvesCounters)
+{
+    UtilityMonitor umon(fullSampling());
+    for (int i = 0; i < 8; ++i) {
+        umon.access(makeAddr(1, 0));
+    }
+    EXPECT_EQ(umon.missCount(), 1u);
+    EXPECT_EQ(umon.positionHits()[0], 7u);
+    umon.decay();
+    EXPECT_EQ(umon.positionHits()[0], 3u);
+    EXPECT_EQ(umon.missCount(), 0u);
+}
+
+TEST(Umon, ResetClearsEverything)
+{
+    UtilityMonitor umon(fullSampling());
+    umon.access(makeAddr(1, 0));
+    umon.access(makeAddr(1, 0));
+    umon.reset();
+    EXPECT_EQ(umon.missCount(), 0u);
+    EXPECT_EQ(umon.accessCount(), 0u);
+    // The ATD forgot the block: next access misses again.
+    umon.access(makeAddr(1, 0));
+    EXPECT_EQ(umon.missCount(), 1u);
+}
