@@ -17,23 +17,43 @@ main(int argc, char **argv)
     using namespace coopsim;
     const auto options = coopbench::optionsFromArgs(argc, argv);
 
+    const std::vector<const char *> names = {"G2-2", "G2-3", "G2-8",
+                                             "G2-12"};
+    const std::vector<cache::ReplPolicy> policies = {
+        cache::ReplPolicy::Lru, cache::ReplPolicy::Random,
+        cache::ReplPolicy::Mru};
+
+    // Full sweep up front: every policy per group plus solo baselines.
+    {
+        std::vector<sim::RunKey> keys;
+        for (const char *name : names) {
+            const auto &group = trace::groupByName(name);
+            for (const cache::ReplPolicy policy : policies) {
+                sim::RunOptions opts = options;
+                opts.repl = policy;
+                keys.push_back(sim::groupKey(llc::Scheme::Cooperative,
+                                             group, opts));
+            }
+            for (const std::string &app : group.apps) {
+                keys.push_back(sim::soloKey(app, 2, options));
+            }
+        }
+        sim::prefetch(keys);
+    }
+
     std::printf("Ablation: intra-partition replacement policy "
                 "(Cooperative)\n");
     std::printf("%-8s %10s %10s %10s\n", "group", "LRU", "Random",
                 "MRU");
 
-    for (const char *name : {"G2-2", "G2-3", "G2-8", "G2-12"}) {
+    for (const char *name : names) {
         const auto &group = trace::groupByName(name);
         std::printf("%-8s", name);
-        for (const cache::ReplPolicy policy :
-             {cache::ReplPolicy::Lru, cache::ReplPolicy::Random,
-              cache::ReplPolicy::Mru}) {
-            sim::SystemConfig config = sim::makeTwoCoreConfig(
-                llc::Scheme::Cooperative, options.scale);
-            config.llc.repl = policy;
-            config.seed = options.seed;
-            sim::System system(config, trace::groupProfiles(group));
-            const sim::RunResult r = system.run();
+        for (const cache::ReplPolicy policy : policies) {
+            sim::RunOptions opts = options;
+            opts.repl = policy;
+            const sim::RunResult &r =
+                sim::runGroup(llc::Scheme::Cooperative, group, opts);
             double ws = 0.0;
             for (std::size_t i = 0; i < group.apps.size(); ++i) {
                 ws += r.apps[i].ipc /

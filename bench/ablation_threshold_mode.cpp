@@ -18,12 +18,37 @@ main(int argc, char **argv)
     using partition::ThresholdMode;
     auto options = coopbench::optionsFromArgs(argc, argv);
 
+    const std::vector<const char *> names = {"G2-2", "G2-4", "G2-8",
+                                             "G2-12"};
+
+    // Full sweep up front: Fair Share baseline, both threshold modes
+    // and the solo baselines per group.
+    {
+        std::vector<sim::RunKey> keys;
+        for (const char *name : names) {
+            const auto &group = trace::groupByName(name);
+            keys.push_back(
+                sim::groupKey(llc::Scheme::FairShare, group, options));
+            for (const ThresholdMode mode :
+                 {ThresholdMode::MissRatio, ThresholdMode::PaperLiteral}) {
+                sim::RunOptions opts = options;
+                opts.threshold_mode = mode;
+                keys.push_back(sim::groupKey(llc::Scheme::Cooperative,
+                                             group, opts));
+            }
+            for (const std::string &app : group.apps) {
+                keys.push_back(sim::soloKey(app, 2, options));
+            }
+        }
+        sim::prefetch(keys);
+    }
+
     std::printf("Ablation: threshold interpretation "
                 "(MissRatio vs PaperLiteral)\n");
     std::printf("%-8s %-14s %10s %10s %10s %10s\n", "group", "mode",
                 "w.speedup", "dyn(norm)", "stat(norm)", "ways/acc");
 
-    for (const char *name : {"G2-2", "G2-4", "G2-8", "G2-12"}) {
+    for (const char *name : names) {
         const auto &group = trace::groupByName(name);
         sim::RunOptions fair_opts = options;
         const auto &fair = sim::runGroup(llc::Scheme::FairShare, group,

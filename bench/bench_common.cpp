@@ -24,12 +24,18 @@ optionsFromArgs(int argc, char **argv)
 {
     RunOptions options;
     options.scale = sim::scaleFromArgs(argc, argv);
+    const unsigned threads = sim::applyThreadArgs(argc, argv);
     if (options.scale == sim::RunScale::Paper) {
         std::printf("# scale: paper (1B insts/app, 5M-cycle epochs)\n");
+    } else if (options.scale == sim::RunScale::Test) {
+        std::printf("# scale: test (tiny; use --full for paper "
+                    "scale)\n");
     } else {
         std::printf("# scale: bench miniature (use --full for paper "
                     "scale)\n");
     }
+    std::printf("# threads: %u (--threads=N / COOPSIM_THREADS)\n",
+                threads);
     return options;
 }
 
@@ -37,8 +43,14 @@ void
 printNormalisedTable(const std::string &title,
                      const std::vector<WorkloadGroup> &groups,
                      const Metric &metric, const RunOptions &options,
-                     bool higher_better)
+                     bool higher_better, bool with_solo)
 {
+    // Enqueue the full (scheme x group) sweep — plus every solo run
+    // when the metric needs the baselines — up front; the collection
+    // loops below then only read memoised results while the executor
+    // keeps all host cores busy.
+    sim::prefetchGroups(allSchemes(), groups, options, with_solo);
+
     std::printf("%s\n", title.c_str());
     std::printf("# normalised to Fair Share; %s is better\n",
                 higher_better ? "higher" : "lower");
@@ -104,8 +116,32 @@ printThresholdTable(
     const std::string &title,
     const std::function<double(const WorkloadGroup &,
                                const RunOptions &)> &metric,
-    const RunOptions &base_options)
+    const RunOptions &base_options, bool with_solo)
 {
+    // Full sweep up front: every (group, T) cell — thresholdSweep()
+    // opens with the T=0 baseline — and, for the speedup metric, the
+    // solo baselines.
+    {
+        std::vector<sim::RunKey> keys;
+        for (const WorkloadGroup &group : trace::twoCoreGroups()) {
+            const auto num_cores =
+                static_cast<std::uint32_t>(group.apps.size());
+            for (const double t : thresholdSweep()) {
+                RunOptions options = base_options;
+                options.threshold = t;
+                keys.push_back(sim::groupKey(
+                    coopsim::llc::Scheme::Cooperative, group, options));
+            }
+            if (with_solo) {
+                for (const std::string &app : group.apps) {
+                    keys.push_back(
+                        sim::soloKey(app, num_cores, base_options));
+                }
+            }
+        }
+        sim::prefetch(keys);
+    }
+
     std::printf("%s\n", title.c_str());
     std::printf("# Cooperative Partitioning, normalised to T = 0\n");
     std::printf("%-8s", "group");

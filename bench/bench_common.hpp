@@ -41,11 +41,16 @@ using Metric = std::function<double(Scheme, const WorkloadGroup &,
  * @param groups       Workload groups (G2-* or G4-*).
  * @param metric       Raw metric (normalisation applied here).
  * @param higher_better Annotates the direction in the header.
+ * @param with_solo    Prefetch the per-app solo baselines too; only
+ *                     the weighted-speedup metric reads them, so the
+ *                     energy benches pass false and skip ~2 runs per
+ *                     group of wasted simulation.
  */
 void printNormalisedTable(const std::string &title,
                           const std::vector<WorkloadGroup> &groups,
                           const Metric &metric,
-                          const RunOptions &options, bool higher_better);
+                          const RunOptions &options, bool higher_better,
+                          bool with_solo = true);
 
 /** Weighted-speedup metric (Equation 1). */
 double speedupMetric(Scheme scheme, const WorkloadGroup &group,
@@ -61,13 +66,14 @@ double staticEnergyMetric(Scheme scheme, const WorkloadGroup &group,
 
 /**
  * Prints a threshold-sweep table (Figs 11-13): rows = groups, columns
- * = T values, normalised to T = 0, Cooperative only.
+ * = T values, normalised to T = 0, Cooperative only. @p with_solo as
+ * in printNormalisedTable (true only for the speedup metric).
  */
 void printThresholdTable(
     const std::string &title,
     const std::function<double(const WorkloadGroup &,
                                const RunOptions &)> &metric,
-    const RunOptions &base_options);
+    const RunOptions &base_options, bool with_solo = true);
 
 /** The T values of the paper's sensitivity study. */
 const std::vector<double> &thresholdSweep();

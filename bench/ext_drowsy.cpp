@@ -20,21 +20,41 @@ main(int argc, char **argv)
     using namespace coopsim;
     const auto options = coopbench::optionsFromArgs(argc, argv);
 
+    const std::vector<const char *> names = {"G2-2", "G2-4", "G2-7",
+                                             "G2-12"};
+
+    // Full sweep up front: both gating modes plus the solo baselines.
+    {
+        std::vector<sim::RunKey> keys;
+        for (const char *name : names) {
+            const auto &group = trace::groupByName(name);
+            for (const llc::GatingMode mode :
+                 {llc::GatingMode::GatedVdd, llc::GatingMode::Drowsy}) {
+                sim::RunOptions opts = options;
+                opts.gating = mode;
+                keys.push_back(sim::groupKey(llc::Scheme::Cooperative,
+                                             group, opts));
+            }
+            for (const std::string &app : group.apps) {
+                keys.push_back(sim::soloKey(app, 2, options));
+            }
+        }
+        sim::prefetch(keys);
+    }
+
     std::printf("Extension: gated-Vdd vs drowsy gating "
                 "(Cooperative)\n");
     std::printf("%-8s %-10s %10s %12s %12s %10s\n", "group", "gating",
                 "w.speedup", "dyn(mJ)", "stat(mJ)", "misses");
 
-    for (const char *name : {"G2-2", "G2-4", "G2-7", "G2-12"}) {
+    for (const char *name : names) {
         const auto &group = trace::groupByName(name);
         for (const llc::GatingMode mode :
              {llc::GatingMode::GatedVdd, llc::GatingMode::Drowsy}) {
-            sim::SystemConfig config = sim::makeTwoCoreConfig(
-                llc::Scheme::Cooperative, options.scale);
-            config.llc.gating = mode;
-            config.seed = options.seed;
-            sim::System system(config, trace::groupProfiles(group));
-            const sim::RunResult r = system.run();
+            sim::RunOptions opts = options;
+            opts.gating = mode;
+            const sim::RunResult &r =
+                sim::runGroup(llc::Scheme::Cooperative, group, opts);
 
             double ws = 0.0;
             for (std::size_t i = 0; i < group.apps.size(); ++i) {

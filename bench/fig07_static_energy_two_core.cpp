@@ -15,6 +15,6 @@ main(int argc, char **argv)
         "Figure 7: static energy, two-application workloads",
         coopsim::trace::twoCoreGroups(),
         coopbench::staticEnergyMetric, options,
-        /*higher_better=*/false);
+        /*higher_better=*/false, /*with_solo=*/false);
     return 0;
 }

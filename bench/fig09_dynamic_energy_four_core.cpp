@@ -14,6 +14,6 @@ main(int argc, char **argv)
         "Figure 9: dynamic energy, four-application workloads",
         coopsim::trace::fourCoreGroups(),
         coopbench::dynamicEnergyMetric, options,
-        /*higher_better=*/false);
+        /*higher_better=*/false, /*with_solo=*/false);
     return 0;
 }

@@ -14,6 +14,6 @@ main(int argc, char **argv)
         "Figure 10: static energy, four-application workloads",
         coopsim::trace::fourCoreGroups(),
         coopbench::staticEnergyMetric, options,
-        /*higher_better=*/false);
+        /*higher_better=*/false, /*with_solo=*/false);
     return 0;
 }

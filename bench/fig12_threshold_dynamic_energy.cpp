@@ -19,6 +19,6 @@ main(int argc, char **argv)
                        coopsim::llc::Scheme::Cooperative, group, opts)
                 .dynamic_energy_nj;
         },
-        options);
+        options, /*with_solo=*/false);
     return 0;
 }

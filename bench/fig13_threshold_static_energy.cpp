@@ -18,6 +18,6 @@ main(int argc, char **argv)
                        coopsim::llc::Scheme::Cooperative, group, opts)
                 .static_energy_nj;
         },
-        options);
+        options, /*with_solo=*/false);
     return 0;
 }

@@ -19,6 +19,9 @@ main(int argc, char **argv)
 {
     using coopsim::llc::Scheme;
     const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopsim::sim::prefetchGroups({Scheme::Cooperative},
+                                 coopsim::trace::twoCoreGroups(),
+                                 options, /*with_solo=*/false);
 
     std::printf("Figure 14: events setting takeover bits "
                 "(fractions per group)\n");

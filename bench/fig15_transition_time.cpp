@@ -17,6 +17,9 @@ main(int argc, char **argv)
 {
     using coopsim::llc::Scheme;
     const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopsim::sim::prefetchGroups({Scheme::Ucp, Scheme::Cooperative},
+                                 coopsim::trace::twoCoreGroups(),
+                                 options, /*with_solo=*/false);
 
     std::printf("Figure 15: cycles required to transfer a way\n");
     std::printf("%-8s %14s %14s %8s %8s\n", "group", "UCP",

@@ -15,6 +15,9 @@ main(int argc, char **argv)
 {
     using coopsim::llc::Scheme;
     const auto options = coopbench::optionsFromArgs(argc, argv);
+    coopsim::sim::prefetchGroups({Scheme::Ucp, Scheme::Cooperative},
+                                 coopsim::trace::twoCoreGroups(),
+                                 options, /*with_solo=*/false);
 
     // Aggregate the per-decision flush time series over all groups.
     std::vector<std::uint64_t> ucp_series;

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Hot-path microbenchmarks for the simulator itself (host throughput,
+ * not simulated metrics), covering the three paths this repo's
+ * performance work targets:
+ *
+ *  1. masked tag lookup / victim selection in SetAssocCache, which the
+ *     bit-scan way iteration accelerates (a linear 0..63 scan is timed
+ *     alongside as the reference the optimisation replaced),
+ *  2. UMON ATD accesses with a full (sample_period = 1) directory, the
+ *     per-access cost the incremental recency ordering shaved, and
+ *  3. end-to-end sweep throughput: the complete fig05-fig16 simulation
+ *     key set executed serially on one thread versus through the
+ *     parallel RunExecutor.
+ *
+ * Results are printed and written to BENCH_hotpath.json (overwritten
+ * per run; the committed copy at the repo root is the recorded
+ * measurement tracking the trajectory from PR to PR). No
+ * google-benchmark dependency: plain steady_clock loops, so this
+ * always builds.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "sim/executor.hpp"
+#include "trace/workloads.hpp"
+#include "umon/umon.hpp"
+
+using namespace coopsim;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Pre-bit-scan semantics: test every way position under the mask. */
+cache::LookupResult
+linearLookup(const cache::SetAssocCache &array, Addr addr,
+             cache::WayMask mask)
+{
+    const SetId set = array.slicer().set(addr);
+    const Addr tag = array.slicer().tag(addr);
+    for (std::uint32_t w = 0; w < array.ways(); ++w) {
+        if (!((mask >> w) & 1)) {
+            continue;
+        }
+        const cache::CacheBlock &blk = array.block(set, w);
+        if (blk.valid && blk.tag == tag) {
+            return {true, static_cast<WayId>(w)};
+        }
+    }
+    return {false, kNoWay};
+}
+
+struct LookupTimes
+{
+    double bitscan_ns = 0.0;
+    double linear_ns = 0.0;
+    double victim_ns = 0.0;
+};
+
+/** Times masked lookup (both implementations) and victim selection. */
+LookupTimes
+benchMaskedLookup(std::uint64_t &checksum)
+{
+    // 1 MiB, 16-way: the paper's LLC associativity at a bench-friendly
+    // set count.
+    cache::SetAssocCache array({1024ull * 16 * 64, 16, 64});
+    Rng rng(7);
+
+    // Fill ~3/4 of each set so lookups see a realistic mix of valid
+    // and invalid ways.
+    const std::uint32_t sets = array.numSets();
+    for (SetId set = 0; set < sets; ++set) {
+        for (std::uint32_t w = 0; w < 12; ++w) {
+            const Addr addr = (rng.nextBelow(1u << 12) << 16) |
+                              (static_cast<Addr>(set) << 6);
+            const WayId way = array.victim(set, cache::fullMask(16));
+            array.insert(addr, set, way,
+                         static_cast<CoreId>(rng.nextBelow(2)), false);
+        }
+    }
+
+    // One shared (addr, mask) stream so all three loops do identical
+    // work. Masks are random non-empty partitions of the 16 ways, the
+    // shape the way-partitioned LLC probes with.
+    constexpr std::size_t kOps = 1u << 20;
+    std::vector<Addr> addrs(kOps);
+    std::vector<cache::WayMask> masks(kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+        addrs[i] = (rng.nextBelow(1u << 12) << 16) |
+                   (rng.nextBelow(sets) << 6);
+        cache::WayMask mask = rng.nextBelow(1u << 16);
+        masks[i] = mask ? mask : cache::fullMask(16);
+    }
+
+    LookupTimes times;
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOps; ++i) {
+            checksum += array.lookup(addrs[i], masks[i]).hit;
+        }
+        times.bitscan_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    }
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOps; ++i) {
+            checksum += linearLookup(array, addrs[i], masks[i]).hit;
+        }
+        times.linear_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    }
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOps; ++i) {
+            checksum += array.victim(array.slicer().set(addrs[i]),
+                                     masks[i]);
+        }
+        times.victim_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    }
+    return times;
+}
+
+/** Times UtilityMonitor::access with a full ATD (every set sampled). */
+double
+benchUmonAccess(std::uint64_t &checksum)
+{
+    umon::UmonConfig config;
+    config.llc_sets = 1024;
+    config.llc_ways = 16;
+    config.sample_period = 1;
+    umon::UtilityMonitor monitor(config);
+
+    Rng rng(11);
+    constexpr std::size_t kOps = 1u << 20;
+    std::vector<Addr> addrs(kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+        // ~2x the ATD capacity worth of distinct blocks: plenty of
+        // hits at varied recency positions plus steady misses.
+        addrs[i] = rng.nextBelow(2048u * 16) << 6;
+    }
+
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kOps; ++i) {
+        monitor.access(addrs[i]);
+    }
+    const double ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    checksum += monitor.missCount();
+    return ns;
+}
+
+/**
+ * Every simulation key figs 5-16 request at @p scale: the five-scheme
+ * sweep over the two- and four-core groups (figs 5-10 and 14-16), the
+ * Cooperative threshold sweep (figs 11-13) and all weighted-speedup
+ * solo baselines.
+ */
+std::vector<sim::RunKey>
+figSweepKeys(const sim::RunOptions &base)
+{
+    std::unordered_set<sim::RunKey, sim::RunKeyHash> seen;
+    std::vector<sim::RunKey> keys;
+    const auto add = [&](const sim::RunKey &key) {
+        if (seen.insert(key).second) {
+            keys.push_back(key);
+        }
+    };
+
+    for (const auto *groups :
+         {&trace::twoCoreGroups(), &trace::fourCoreGroups()}) {
+        for (const trace::WorkloadGroup &group : *groups) {
+            const auto num_cores =
+                static_cast<std::uint32_t>(group.apps.size());
+            for (const llc::Scheme scheme : coopbench::allSchemes()) {
+                add(sim::groupKey(scheme, group, base));
+            }
+            for (const std::string &app : group.apps) {
+                add(sim::soloKey(app, num_cores, base));
+            }
+        }
+    }
+    for (const double t : coopbench::thresholdSweep()) {
+        sim::RunOptions options = base;
+        options.threshold = t;
+        for (const trace::WorkloadGroup &group :
+             trace::twoCoreGroups()) {
+            add(sim::groupKey(llc::Scheme::Cooperative, group, options));
+        }
+    }
+    return keys;
+}
+
+struct SweepTimes
+{
+    std::size_t runs = 0;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+};
+
+/** Serial (one thread, no pool) vs RunExecutor on the full key set. */
+SweepTimes
+benchExecutorSweep(const sim::RunOptions &base, std::uint64_t &checksum)
+{
+    const std::vector<sim::RunKey> keys = figSweepKeys(base);
+    SweepTimes times;
+    times.runs = keys.size();
+
+    std::uint64_t serial_sum = 0;
+    {
+        const auto t0 = Clock::now();
+        for (const sim::RunKey &key : keys) {
+            serial_sum += sim::executeRun(key).total_cycles;
+        }
+        times.serial_s = seconds(t0, Clock::now());
+    }
+
+    std::uint64_t parallel_sum = 0;
+    {
+        auto &executor = sim::RunExecutor::instance();
+        executor.clear();
+        const auto t0 = Clock::now();
+        executor.prefetch(keys);
+        for (const sim::RunKey &key : keys) {
+            parallel_sum += executor.run(key).total_cycles;
+        }
+        times.parallel_s = seconds(t0, Clock::now());
+    }
+
+    if (serial_sum != parallel_sum) {
+        std::fprintf(stderr,
+                     "FATAL: serial/parallel cycle totals differ "
+                     "(%llu vs %llu)\n",
+                     static_cast<unsigned long long>(serial_sum),
+                     static_cast<unsigned long long>(parallel_sum));
+        std::exit(1);
+    }
+    checksum += serial_sum;
+    return times;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::RunOptions options;
+    options.scale = sim::scaleFromArgs(argc, argv);
+    const unsigned threads = sim::applyThreadArgs(argc, argv);
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    const char *scale_name =
+        options.scale == sim::RunScale::Paper
+            ? "paper"
+            : (options.scale == sim::RunScale::Test ? "test" : "bench");
+
+    std::printf("# hot-path microbenchmarks (scale: %s, threads: %u, "
+                "host cores: %u)\n",
+                scale_name, threads, host_cores);
+
+    std::uint64_t checksum = 0;
+    const LookupTimes lookup = benchMaskedLookup(checksum);
+    std::printf("masked lookup (bit-scan)   %8.2f ns/op\n",
+                lookup.bitscan_ns);
+    std::printf("masked lookup (linear ref) %8.2f ns/op\n",
+                lookup.linear_ns);
+    std::printf("masked victim (bit-scan)   %8.2f ns/op\n",
+                lookup.victim_ns);
+
+    const double umon_ns = benchUmonAccess(checksum);
+    std::printf("UMON access (full ATD)     %8.2f ns/op\n", umon_ns);
+
+    const SweepTimes sweep = benchExecutorSweep(options, checksum);
+    const double speedup =
+        sweep.parallel_s > 0.0 ? sweep.serial_s / sweep.parallel_s : 0.0;
+    std::printf("fig05-16 sweep: %zu runs, serial %.2fs, "
+                "executor(%u threads) %.2fs, speedup %.2fx\n",
+                sweep.runs, sweep.serial_s,
+                sim::RunExecutor::instance().threads(), sweep.parallel_s,
+                speedup);
+    std::printf("# checksum %llu\n",
+                static_cast<unsigned long long>(checksum));
+
+    FILE *json = std::fopen("BENCH_hotpath.json", "w");
+    if (json != nullptr) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"scale\": \"%s\",\n"
+            "  \"host_cores\": %u,\n"
+            "  \"executor_threads\": %u,\n"
+            "  \"masked_lookup_bitscan_ns\": %.3f,\n"
+            "  \"masked_lookup_linear_ns\": %.3f,\n"
+            "  \"masked_victim_ns\": %.3f,\n"
+            "  \"umon_access_ns\": %.3f,\n"
+            "  \"sweep_runs\": %zu,\n"
+            "  \"sweep_serial_s\": %.3f,\n"
+            "  \"sweep_parallel_s\": %.3f,\n"
+            "  \"sweep_speedup\": %.3f\n"
+            "}\n",
+            scale_name, host_cores,
+            sim::RunExecutor::instance().threads(),
+            lookup.bitscan_ns, lookup.linear_ns, lookup.victim_ns,
+            umon_ns, sweep.runs, sweep.serial_s, sweep.parallel_s,
+            speedup);
+        std::fclose(json);
+        std::printf("# wrote BENCH_hotpath.json\n");
+    }
+    return 0;
+}

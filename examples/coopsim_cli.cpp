@@ -71,6 +71,7 @@ main(int argc, char **argv)
 
     sim::RunOptions options;
     options.scale = sim::scaleFromArgs(argc, argv);
+    sim::applyThreadArgs(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (takeValue(arg, "--scheme=", value)) {
@@ -86,7 +87,7 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf("usage: coopsim_cli [--scheme=coop] "
                         "[--group=G2-3] [--threshold=0.05] [--seed=N] "
-                        "[--csv] [--full]\n");
+                        "[--csv] [--full] [--threads=N]\n");
             return 0;
         }
     }

@@ -26,8 +26,33 @@ main(int argc, char **argv)
     }
     const trace::WorkloadGroup &group = trace::groupByName(group_name);
 
+    // One list drives both the prefetch below and the print loop — a
+    // sweep value added here is automatically prefetched too.
+    const std::vector<double> sweep = {0.0,  0.01, 0.02, 0.05,
+                                       0.08, 0.1,  0.15, 0.2};
+
     sim::RunOptions base;
     base.scale = sim::scaleFromArgs(argc, argv);
+    sim::applyThreadArgs(argc, argv);
+
+    // Enqueue the whole threshold sweep plus the Fair Share reference
+    // and solo baselines up front.
+    {
+        std::vector<sim::RunKey> keys;
+        keys.push_back(sim::groupKey(llc::Scheme::FairShare, group, base));
+        for (const double t : sweep) {
+            sim::RunOptions options = base;
+            options.threshold = t;
+            keys.push_back(
+                sim::groupKey(llc::Scheme::Cooperative, group, options));
+        }
+        for (const std::string &app : group.apps) {
+            keys.push_back(sim::soloKey(
+                app, static_cast<std::uint32_t>(group.apps.size()),
+                base));
+        }
+        sim::prefetch(keys);
+    }
 
     // Fair Share reference for the energy normalisation.
     const sim::RunResult &fair =
@@ -35,14 +60,23 @@ main(int argc, char **argv)
     const double fair_ws = sim::groupWeightedSpeedup(
         llc::Scheme::FairShare, group, base);
 
+    // LLC associativity of the system this group runs on (8 for the
+    // two-core geometry, 16 for four-core).
+    const double llc_ways = static_cast<double>(
+        (group.apps.size() <= 2
+             ? sim::makeTwoCoreConfig(llc::Scheme::Cooperative,
+                                      base.scale)
+             : sim::makeFourCoreConfig(llc::Scheme::Cooperative,
+                                       base.scale))
+            .llc.geometry.ways);
+
     std::printf("threshold sweep for %s (values normalised to "
                 "Fair Share)\n\n",
                 group.name.c_str());
     std::printf("%8s %12s %12s %12s %10s %8s\n", "T", "w.speedup",
                 "dynamic", "static", "ways/acc", "offways");
 
-    for (const double t :
-         {0.0, 0.01, 0.02, 0.05, 0.08, 0.1, 0.15, 0.2}) {
+    for (const double t : sweep) {
         sim::RunOptions options = base;
         options.threshold = t;
         const sim::RunResult &r =
@@ -55,14 +89,12 @@ main(int argc, char **argv)
             (r.static_energy_nj / static_cast<double>(r.total_cycles)) /
             (fair.static_energy_nj /
              static_cast<double>(fair.total_cycles));
-        const double ways =
-            static_cast<double>(8); // two-core LLC associativity
         std::printf("%8.2f %12.3f %12.3f %12.3f %10.2f %8.1f\n", t,
                     ws / fair_ws,
                     r.dynamic_energy_nj / fair.dynamic_energy_nj,
                     r.static_energy_nj / fair.static_energy_nj,
                     r.avg_ways_probed,
-                    ways * (1.0 - powered_ratio));
+                    llc_ways * (1.0 - powered_ratio));
     }
 
     std::printf("\nThe paper selects T = 0.05: the largest threshold "

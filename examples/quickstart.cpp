@@ -28,8 +28,18 @@ main(int argc, char **argv)
 
     sim::RunOptions options;
     options.scale = sim::scaleFromArgs(argc, argv);
+    sim::applyThreadArgs(argc, argv);
 
     const trace::WorkloadGroup &group = trace::groupByName(group_name);
+
+    // Enqueue the whole sweep (every scheme + solo baselines) before
+    // collecting anything; the executor runs them concurrently.
+    sim::prefetchGroups(
+        {llc::Scheme::Unmanaged, llc::Scheme::FairShare,
+         llc::Scheme::DynamicCpe, llc::Scheme::Ucp,
+         llc::Scheme::Cooperative},
+        {group}, options);
+
     std::printf("workload %s:", group.name.c_str());
     for (const auto &app : group.apps) {
         std::printf(" %s", app.c_str());

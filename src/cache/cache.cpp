@@ -25,10 +25,8 @@ SetAssocCache::lookup(Addr addr, WayMask mask) const
     const SetId set = slicer_.set(addr);
     const Addr tag = slicer_.tag(addr);
     const CacheBlock *base = &blocks_[index(set, 0)];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!((mask >> w) & 1)) {
-            continue;
-        }
+    for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
+        const WayId w = lowestWay(m);
         const CacheBlock &blk = base[w];
         if (blk.valid && blk.tag == tag) {
             return {true, w};
@@ -48,8 +46,9 @@ SetAssocCache::victim(SetId set, WayMask mask)
 {
     COOPSIM_ASSERT(mask != 0, "victim over empty mask");
     const CacheBlock *base = &blocks_[index(set, 0)];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (((mask >> w) & 1) && !base[w].valid) {
+    for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
+        const WayId w = lowestWay(m);
+        if (!base[w].valid) {
             return w;
         }
     }
@@ -105,8 +104,8 @@ SetAssocCache::validCount(SetId set, WayMask mask) const
 {
     const CacheBlock *base = &blocks_[index(set, 0)];
     std::uint32_t count = 0;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (((mask >> w) & 1) && base[w].valid) {
+    for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
+        if (base[lowestWay(m)].valid) {
             ++count;
         }
     }
@@ -118,8 +117,9 @@ SetAssocCache::ownedCount(SetId set, WayMask mask, CoreId core) const
 {
     const CacheBlock *base = &blocks_[index(set, 0)];
     std::uint32_t count = 0;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (((mask >> w) & 1) && base[w].valid && base[w].owner == core) {
+    for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
+        const CacheBlock &blk = base[lowestWay(m)];
+        if (blk.valid && blk.owner == core) {
             ++count;
         }
     }
@@ -132,8 +132,9 @@ SetAssocCache::lruValidWay(SetId set, WayMask mask) const
     const CacheBlock *base = &blocks_[index(set, 0)];
     WayId best = kNoWay;
     std::uint64_t best_lru = 0;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!((mask >> w) & 1) || !base[w].valid) {
+    for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
+        const WayId w = lowestWay(m);
+        if (!base[w].valid) {
             continue;
         }
         if (best == kNoWay || base[w].lru < best_lru) {

@@ -15,6 +15,7 @@
 #ifndef COOPSIM_CACHE_CACHE_HPP
 #define COOPSIM_CACHE_CACHE_HPP
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,17 @@ constexpr WayMask
 fullMask(std::uint32_t ways)
 {
     return ways >= 64 ? ~WayMask{0} : ((WayMask{1} << ways) - 1);
+}
+
+/**
+ * Index of the lowest set bit of a non-empty mask. The hot loops visit
+ * only the ways actually present in a mask — `mask & (mask - 1)` clears
+ * the bit just visited — instead of testing all 64 way positions.
+ */
+constexpr WayId
+lowestWay(WayMask mask)
+{
+    return static_cast<WayId>(std::countr_zero(mask & -mask));
 }
 
 /** State of one cache block (tag entry). */

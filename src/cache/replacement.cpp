@@ -18,30 +18,27 @@ ReplacementPolicy::victim(const CacheBlock *set_blocks, std::uint32_t ways,
                           std::uint64_t mask)
 {
     COOPSIM_ASSERT(mask != 0, "victim selection over empty mask");
+    mask &= fullMask(ways);
 
     if (policy_ == ReplPolicy::Random) {
         const auto count =
             static_cast<std::uint32_t>(std::popcount(mask));
         std::uint32_t pick =
             static_cast<std::uint32_t>(rng_.nextBelow(count));
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if ((mask >> w) & 1) {
-                if (pick == 0) {
-                    return w;
-                }
-                --pick;
-            }
+        std::uint64_t m = mask;
+        while (pick > 0) {
+            m &= m - 1;
+            --pick;
         }
-        COOPSIM_PANIC("random victim ran past mask");
+        COOPSIM_ASSERT(m != 0, "random victim ran past mask");
+        return lowestWay(m);
     }
 
     WayId best = kNoWay;
     std::uint64_t best_lru = 0;
     bool first = true;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!((mask >> w) & 1)) {
-            continue;
-        }
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        const WayId w = lowestWay(m);
         const std::uint64_t lru = set_blocks[w].lru;
         const bool better = first || (policy_ == ReplPolicy::Lru
                                           ? lru < best_lru

@@ -8,10 +8,43 @@ namespace coopsim::llc
 {
 
 PermissionFile::PermissionFile(std::uint32_t ways, std::uint32_t cores)
-    : cores_(cores), rap_(ways, 0), wap_(ways, 0), powered_(ways, false)
+    : cores_(cores), rap_(ways, 0), wap_(ways, 0), powered_(ways, false),
+      read_mask_(cores, 0), write_mask_(cores, 0),
+      donating_mask_(cores, 0), receiving_mask_(cores, 0)
 {
     COOPSIM_ASSERT(ways > 0 && ways <= 64, "ways must be in [1, 64]");
     COOPSIM_ASSERT(cores > 0 && cores <= 32, "cores must be in [1, 32]");
+}
+
+void
+PermissionFile::rebuildMasks()
+{
+    for (std::uint32_t c = 0; c < cores_; ++c) {
+        const CoreMask self = CoreMask{1} << c;
+        std::uint64_t read = 0;
+        std::uint64_t write = 0;
+        std::uint64_t donating = 0;
+        std::uint64_t receiving = 0;
+        for (std::uint32_t w = 0; w < ways(); ++w) {
+            const std::uint64_t bit = std::uint64_t{1} << w;
+            if (rap_[w] & self) {
+                read |= bit;
+                if (!(wap_[w] & self)) {
+                    donating |= bit;
+                }
+            }
+            if (wap_[w] & self) {
+                write |= bit;
+                if ((rap_[w] & ~self) != 0) {
+                    receiving |= bit;
+                }
+            }
+        }
+        read_mask_[c] = read;
+        write_mask_[c] = write;
+        donating_mask_[c] = donating;
+        receiving_mask_[c] = receiving;
+    }
 }
 
 void
@@ -21,6 +54,7 @@ PermissionFile::setOwner(WayId way, CoreId core)
     rap_[way] = CoreMask{1} << core;
     wap_[way] = CoreMask{1} << core;
     powered_[way] = true;
+    rebuildMasks();
 }
 
 void
@@ -34,6 +68,7 @@ PermissionFile::beginTransfer(WayId way, CoreId donor, CoreId recipient)
                    "transfer source must be in steady state");
     rap_[way] |= CoreMask{1} << recipient;
     wap_[way] = CoreMask{1} << recipient;
+    rebuildMasks();
 }
 
 void
@@ -44,6 +79,7 @@ PermissionFile::beginDrain(WayId way, CoreId donor)
                        wap_[way] == (CoreMask{1} << donor),
                    "drain source must be in steady state");
     wap_[way] = 0;
+    rebuildMasks();
 }
 
 void
@@ -51,6 +87,7 @@ PermissionFile::clearRead(WayId way, CoreId core)
 {
     COOPSIM_ASSERT(way < ways() && core < cores_, "clearRead range");
     rap_[way] &= ~(CoreMask{1} << core);
+    rebuildMasks();
 }
 
 void
@@ -60,55 +97,6 @@ PermissionFile::powerOff(WayId way)
     COOPSIM_ASSERT(rap_[way] == 0 && wap_[way] == 0,
                    "powering off a way with live permissions");
     powered_[way] = false;
-}
-
-std::uint64_t
-PermissionFile::readMask(CoreId core) const
-{
-    std::uint64_t mask = 0;
-    for (std::uint32_t w = 0; w < ways(); ++w) {
-        if ((rap_[w] >> core) & 1u) {
-            mask |= std::uint64_t{1} << w;
-        }
-    }
-    return mask;
-}
-
-std::uint64_t
-PermissionFile::writeMask(CoreId core) const
-{
-    std::uint64_t mask = 0;
-    for (std::uint32_t w = 0; w < ways(); ++w) {
-        if ((wap_[w] >> core) & 1u) {
-            mask |= std::uint64_t{1} << w;
-        }
-    }
-    return mask;
-}
-
-std::uint64_t
-PermissionFile::donatingMask(CoreId core) const
-{
-    std::uint64_t mask = 0;
-    for (std::uint32_t w = 0; w < ways(); ++w) {
-        if (((rap_[w] >> core) & 1u) && !((wap_[w] >> core) & 1u)) {
-            mask |= std::uint64_t{1} << w;
-        }
-    }
-    return mask;
-}
-
-std::uint64_t
-PermissionFile::receivingMask(CoreId core) const
-{
-    std::uint64_t mask = 0;
-    for (std::uint32_t w = 0; w < ways(); ++w) {
-        const CoreMask self = CoreMask{1} << core;
-        if ((wap_[w] & self) && (rap_[w] & ~self) != 0) {
-            mask |= std::uint64_t{1} << w;
-        }
-    }
-    return mask;
 }
 
 CoreId

@@ -77,20 +77,34 @@ class PermissionFile
         return (wap_[way] >> core) & 1u;
     }
 
+    // The four per-core way masks are queried on every LLC access but
+    // change only when a partitioning decision mutates the registers, so
+    // they are maintained as cached bitmaps (rebuilt on each mutation)
+    // rather than recomputed from RAP/WAP per access.
+
     /** Mask of ways @p core may probe (RAP set). */
-    std::uint64_t readMask(CoreId core) const;
+    std::uint64_t readMask(CoreId core) const { return read_mask_[core]; }
 
     /** Mask of ways @p core may fill/write (WAP set). */
-    std::uint64_t writeMask(CoreId core) const;
+    std::uint64_t writeMask(CoreId core) const
+    {
+        return write_mask_[core];
+    }
 
     /** Ways where @p core is the donor (RAP without WAP). */
-    std::uint64_t donatingMask(CoreId core) const;
+    std::uint64_t donatingMask(CoreId core) const
+    {
+        return donating_mask_[core];
+    }
 
     /**
      * Ways @p core is receiving: core has WAP but another core still
      * has RAP.
      */
-    std::uint64_t receivingMask(CoreId core) const;
+    std::uint64_t receivingMask(CoreId core) const
+    {
+        return receiving_mask_[core];
+    }
 
     /** The donor of @p way (unique core with RAP and no WAP). */
     CoreId donorOf(WayId way) const;
@@ -120,10 +134,17 @@ class PermissionFile
     void checkInvariants() const;
 
   private:
+    /** Rebuilds every cached per-core mask from RAP/WAP state. */
+    void rebuildMasks();
+
     std::uint32_t cores_;
     std::vector<CoreMask> rap_;
     std::vector<CoreMask> wap_;
     std::vector<bool> powered_;
+    std::vector<std::uint64_t> read_mask_;
+    std::vector<std::uint64_t> write_mask_;
+    std::vector<std::uint64_t> donating_mask_;
+    std::vector<std::uint64_t> receiving_mask_;
 };
 
 } // namespace coopsim::llc

@@ -421,17 +421,13 @@ DynamicCpeLlc::applyAllocation(const std::vector<std::uint32_t> &next,
     // Express current ownership for the planner.
     std::vector<std::vector<WayId>> owned(config_.num_cores);
     for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
-        for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-            if ((masks_[c] >> w) & 1) {
-                owned[c].push_back(w);
-            }
+        for (WayMask m = masks_[c]; m != 0; m &= m - 1) {
+            owned[c].push_back(cache::lowestWay(m));
         }
     }
     std::vector<WayId> off;
-    for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-        if ((off_mask_ >> w) & 1) {
-            off.push_back(w);
-        }
+    for (WayMask m = off_mask_; m != 0; m &= m - 1) {
+        off.push_back(cache::lowestWay(m));
     }
 
     const partition::TransitionPlan plan =
@@ -581,10 +577,8 @@ CooperativeLlc::participate(CoreId core, SetId set, bool would_hit,
     // Donor role: flush own dirty lines in every way being given away.
     const WayMask donating = perms_.donatingMask(core);
     if (donating != 0) {
-        for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-            if (!((donating >> w) & 1)) {
-                continue;
-            }
+        for (WayMask m = donating; m != 0; m &= m - 1) {
+            const WayId w = cache::lowestWay(m);
             cache::CacheBlock &blk = array_.blockMutable(set, w);
             if (blk.valid && blk.owner == core && blk.dirty) {
                 dram_.flush(array_.blockAddr(set, w), now);
@@ -609,10 +603,8 @@ CooperativeLlc::participate(CoreId core, SetId set, bool would_hit,
     // core is receiving, and set the donor's takeover bit.
     const WayMask receiving = perms_.receivingMask(core);
     if (receiving != 0) {
-        for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-            if (!((receiving >> w) & 1)) {
-                continue;
-            }
+        for (WayMask m = receiving; m != 0; m &= m - 1) {
+            const WayId w = cache::lowestWay(m);
             const CoreId donor = perms_.donorOf(w);
             if (donor == kNoCore) {
                 continue; // completed while iterating
@@ -643,10 +635,8 @@ void
 CooperativeLlc::completeDonor(CoreId donor, Cycle now, bool forced)
 {
     const WayMask donating = perms_.donatingMask(donor);
-    for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-        if (!((donating >> w) & 1)) {
-            continue;
-        }
+    for (WayMask m = donating; m != 0; m &= m - 1) {
+        const WayId w = cache::lowestWay(m);
         // Evacuate the donor's leftover lines. Dirty stragglers can
         // remain in two cases: a forced (stale) completion, or a donor
         // giving several ways away at once — its single bit vector can
@@ -714,11 +704,12 @@ CooperativeLlc::forceCompleteStale(Cycle now)
             continue;
         }
         bool stale = false;
-        for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-            if (((donating >> w) & 1) &&
-                transition_start_[w] + config_.stale_transition_cycles <=
-                    now) {
+        for (WayMask m = donating; m != 0; m &= m - 1) {
+            const WayId w = cache::lowestWay(m);
+            if (transition_start_[w] + config_.stale_transition_cycles <=
+                now) {
                 stale = true;
+                break;
             }
         }
         if (stale) {
@@ -788,18 +779,19 @@ CooperativeLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     // are receiving (the paper fills incoming lines into the received
     // way), then our own LRU line.
     WayId victim = kNoWay;
-    for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-        if (((write_mask >> w) & 1) && !array_.block(set, w).valid) {
+    for (WayMask m = write_mask; m != 0; m &= m - 1) {
+        const WayId w = cache::lowestWay(m);
+        if (!array_.block(set, w).valid) {
             victim = w;
             break;
         }
     }
     if (victim == kNoWay) {
         WayMask stale = 0;
-        for (std::uint32_t w = 0; w < array_.ways(); ++w) {
+        for (WayMask m = write_mask; m != 0; m &= m - 1) {
+            const WayId w = cache::lowestWay(m);
             const auto &blk = array_.block(set, w);
-            if (((write_mask >> w) & 1) && blk.valid &&
-                blk.owner != core) {
+            if (blk.valid && blk.owner != core) {
                 stale |= WayMask{1} << w;
             }
         }

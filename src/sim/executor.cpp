@@ -1,0 +1,277 @@
+#include "sim/executor.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "trace/workloads.hpp"
+
+namespace coopsim::sim
+{
+
+namespace
+{
+
+/** splitmix64 finaliser: cheap, well-mixed combiner step. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= (h >> 30);
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= (h >> 27);
+    return h;
+}
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("COOPSIM_THREADS")) {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && n >= 1 && n <= 1024) {
+            return static_cast<unsigned>(n);
+        }
+        COOPSIM_WARN("ignoring invalid COOPSIM_THREADS=", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/** Consumed once, by the first RunExecutor::instance() construction. */
+unsigned g_initial_threads = 0;
+
+SystemConfig
+configOf(const RunKey &key)
+{
+    SystemConfig config =
+        key.num_cores <= 2 ? makeTwoCoreConfig(key.scheme, key.scale)
+                           : makeFourCoreConfig(key.scheme, key.scale);
+    config.llc.threshold = key.threshold;
+    config.llc.threshold_mode = key.threshold_mode;
+    config.llc.repl = key.repl;
+    config.llc.gating = key.gating;
+    config.seed = key.seed;
+    return config;
+}
+
+} // namespace
+
+std::size_t
+RunKeyHash::operator()(const RunKey &key) const
+{
+    std::uint64_t h = 0x243f6a8885a308d3ull;
+    h = mix(h, static_cast<std::uint64_t>(key.kind));
+    h = mix(h, static_cast<std::uint64_t>(key.scheme));
+    for (const char c : key.name) {
+        h = mix(h, static_cast<std::uint64_t>(c));
+    }
+    h = mix(h, key.num_cores);
+    h = mix(h, static_cast<std::uint64_t>(key.scale));
+    // Fold -0.0 to +0.0: the defaulted operator== treats them as equal,
+    // so they must hash identically (hash/equality container contract).
+    const double threshold =
+        key.threshold == 0.0 ? 0.0 : key.threshold;
+    std::uint64_t threshold_bits;
+    static_assert(sizeof(threshold_bits) == sizeof(threshold));
+    std::memcpy(&threshold_bits, &threshold, sizeof(threshold_bits));
+    h = mix(h, threshold_bits);
+    h = mix(h, static_cast<std::uint64_t>(key.threshold_mode));
+    h = mix(h, static_cast<std::uint64_t>(key.repl));
+    h = mix(h, static_cast<std::uint64_t>(key.gating));
+    h = mix(h, key.seed);
+    return static_cast<std::size_t>(h);
+}
+
+RunResult
+executeRun(const RunKey &key)
+{
+    if (key.kind == RunKey::Kind::Group) {
+        const trace::WorkloadGroup &group = trace::groupByName(key.name);
+        const auto num_cores =
+            static_cast<std::uint32_t>(group.apps.size());
+        SystemConfig config = configOf(key);
+        COOPSIM_ASSERT(config.num_cores == num_cores,
+                       "group size does not match system");
+        System system(config, trace::groupProfiles(group));
+        return system.run();
+    }
+
+    // Solo: the app owns the whole (unmanaged) LLC of the system it
+    // will later share.
+    SystemConfig config = configOf(key);
+    config.num_cores = 1;
+    config.llc.num_cores = 1;
+    System system(config, {trace::specProfile(key.name)});
+    return system.run();
+}
+
+// ---------------------------------------------------------------------------
+// RunExecutor
+
+RunExecutor::RunExecutor(unsigned threads)
+{
+    startWorkers(threads > 0 ? threads : defaultThreadCount());
+}
+
+RunExecutor::~RunExecutor()
+{
+    stopWorkers();
+}
+
+RunExecutor &
+RunExecutor::instance()
+{
+    // Construct the trace tables (function-local statics executeRun
+    // reads) before the pool: statics are destroyed in reverse
+    // construction order, so the executor's destructor — which joins
+    // workers that may still be inside a run at process exit — must
+    // come first, while those tables are still alive.
+    trace::twoCoreGroups();
+    trace::fourCoreGroups();
+    trace::specProfile(trace::allSpecApps().front());
+    static RunExecutor executor(g_initial_threads);
+    return executor;
+}
+
+void
+RunExecutor::requestInitialThreads(unsigned threads)
+{
+    g_initial_threads = threads;
+}
+
+void
+RunExecutor::startWorkers(unsigned threads)
+{
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+void
+RunExecutor::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_) {
+        worker.join();
+    }
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+}
+
+void
+RunExecutor::setThreads(unsigned threads)
+{
+    const unsigned target = threads > 0 ? threads : defaultThreadCount();
+    if (target == workers_.size()) {
+        return;
+    }
+    // Workers finish their current run and exit; queued work is kept
+    // and picked up by the new pool.
+    stopWorkers();
+    startWorkers(target);
+}
+
+unsigned
+RunExecutor::threads() const
+{
+    return static_cast<unsigned>(workers_.size());
+}
+
+void
+RunExecutor::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_) {
+            return;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+    }
+}
+
+RunExecutor::Future
+RunExecutor::submit(const RunKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        return it->second;
+    }
+    auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
+        [key] { return std::make_shared<const RunResult>(executeRun(key)); });
+    Future future = task->get_future().share();
+    cache_.emplace(key, future);
+    queue_.emplace_back([task] { (*task)(); });
+    cv_.notify_one();
+    return future;
+}
+
+void
+RunExecutor::prefetch(const std::vector<RunKey> &keys)
+{
+    for (const RunKey &key : keys) {
+        submit(key);
+    }
+}
+
+const RunResult &
+RunExecutor::run(const RunKey &key)
+{
+    Future future = submit(key);
+
+    // Help drain the queue while waiting: with every worker busy on
+    // other runs of the sweep, the blocked caller contributes a core
+    // instead of idling (and a zero-worker pool still makes progress).
+    using namespace std::chrono_literals;
+    while (future.wait_for(0s) != std::future_status::ready) {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!queue_.empty()) {
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+        }
+        if (task) {
+            task();
+        } else {
+            future.wait();
+        }
+    }
+    return *future.get();
+}
+
+void
+RunExecutor::clear()
+{
+    // Drain: every cached future is awaited so no in-flight run can
+    // complete into a cleared cache entry's storage.
+    std::vector<Future> pending;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending.reserve(cache_.size());
+        for (const auto &[key, future] : cache_) {
+            pending.push_back(future);
+        }
+    }
+    for (Future &future : pending) {
+        future.wait();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace coopsim::sim

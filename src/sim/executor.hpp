@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parallel simulation executor.
+ *
+ * The paper's figures are sweeps over (scheme x workload-group x
+ * threshold x seed) of completely independent full-system simulations.
+ * RunExecutor runs those simulations on a host thread pool behind a
+ * future-based memo cache, so
+ *
+ *  - every distinct simulation is paid for exactly once per process,
+ *    no matter how many figures request it (and no matter from which
+ *    thread), and
+ *  - a bench that enqueues its whole sweep up front (prefetch()) keeps
+ *    every host core busy instead of walking the sweep serially.
+ *
+ * Determinism invariant: a simulation's result is a pure function of
+ * its RunKey. Every System instance owns all of its mutable state —
+ * cores, private L1s, LLC (with its own Rng seeded from the config),
+ * DRAM model and synthetic trace streams (seeded `seed + core * 7919`)
+ * — and the library keeps no global mutable state on the simulation
+ * path, so concurrent Systems never share anything and results are
+ * bit-identical for 1 thread and N threads. test_executor.cpp asserts
+ * this; keep it true when adding scheme state (seed anything random
+ * from LlcConfig::seed, never from a global).
+ */
+
+#ifndef COOPSIM_SIM_EXECUTOR_HPP
+#define COOPSIM_SIM_EXECUTOR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace coopsim::sim
+{
+
+/**
+ * Identity of one full-system simulation. Two runs with equal keys are
+ * the same simulation (see the determinism invariant above), which is
+ * what makes the key usable as a memo-cache index.
+ */
+struct RunKey
+{
+    enum class Kind : std::uint8_t
+    {
+        /** A Table 4 workload group sharing the LLC under a scheme. */
+        Group,
+        /** One app alone on the whole (unmanaged) LLC of an
+         *  @p num_cores-core system — the weighted-speedup baseline. */
+        Solo,
+    };
+
+    Kind kind = Kind::Group;
+    llc::Scheme scheme = llc::Scheme::Cooperative;
+    /** Group name ("G2-3") or solo app name ("h264ref"). */
+    std::string name;
+    /** Geometry selector: 2 or 4 (solo runs shrink it to one core). */
+    std::uint32_t num_cores = 2;
+    RunScale scale = RunScale::Bench;
+    double threshold = 0.05;
+    partition::ThresholdMode threshold_mode =
+        partition::ThresholdMode::MissRatio;
+    cache::ReplPolicy repl = cache::ReplPolicy::Lru;
+    llc::GatingMode gating = llc::GatingMode::GatedVdd;
+    std::uint64_t seed = 42;
+
+    bool operator==(const RunKey &) const = default;
+};
+
+/** FNV-style combiner over every RunKey field. */
+struct RunKeyHash
+{
+    std::size_t operator()(const RunKey &key) const;
+};
+
+/** Runs the simulation @p key describes (pure; no caching). */
+RunResult executeRun(const RunKey &key);
+
+/**
+ * Thread-pool executor with a future-based memo cache.
+ *
+ * Worker count resolution, in priority order: setThreads() (the
+ * --threads=N flag), the COOPSIM_THREADS environment variable, then
+ * std::thread::hardware_concurrency().
+ */
+class RunExecutor
+{
+  public:
+    /** @param threads Worker count; 0 resolves the default above. */
+    explicit RunExecutor(unsigned threads = 0);
+    ~RunExecutor();
+
+    RunExecutor(const RunExecutor &) = delete;
+    RunExecutor &operator=(const RunExecutor &) = delete;
+
+    /** The process-wide executor used by the sim::runGroup family. */
+    static RunExecutor &instance();
+
+    /**
+     * Worker count the first instance() construction uses (0 = the
+     * default resolution). Lets applyThreadArgs() build the pool at
+     * the requested size directly instead of spawning a full
+     * hardware_concurrency pool only to tear it down; once the
+     * process-wide executor exists this is a no-op — use setThreads().
+     */
+    static void requestInitialThreads(unsigned threads);
+
+    /**
+     * Enqueues every not-yet-cached key for background execution and
+     * returns immediately. Benches call this with their full sweep
+     * before collecting any result.
+     */
+    void prefetch(const std::vector<RunKey> &keys);
+
+    /**
+     * Result of the simulation @p key describes, running it (or waiting
+     * for its in-flight run) if needed. While waiting, the calling
+     * thread helps drain the queue instead of idling. The reference
+     * stays valid until clear().
+     */
+    const RunResult &run(const RunKey &key);
+
+    /** Waits for all in-flight runs, then empties the memo cache. */
+    void clear();
+
+    /** Stops, joins and respawns the pool with @p threads workers
+     *  (0 = resolve the default). Pending work is carried over. */
+    void setThreads(unsigned threads);
+
+    /** Current worker count. */
+    unsigned threads() const;
+
+  private:
+    using ResultPtr = std::shared_ptr<const RunResult>;
+    using Future = std::shared_future<ResultPtr>;
+
+    Future submit(const RunKey &key);
+    void workerLoop();
+    void startWorkers(unsigned threads);
+    void stopWorkers();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::unordered_map<RunKey, Future, RunKeyHash> cache_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+} // namespace coopsim::sim
+
+#endif // COOPSIM_SIM_EXECUTOR_HPP

@@ -1,104 +1,71 @@
 #include "sim/runner.hpp"
 
+#include <cstdlib>
 #include <cstring>
-#include <map>
-#include <sstream>
 
 #include "common/logging.hpp"
 
 namespace coopsim::sim
 {
 
-namespace
+RunKey
+groupKey(llc::Scheme scheme, const trace::WorkloadGroup &group,
+         const RunOptions &options)
 {
-
-std::string
-keyOf(llc::Scheme scheme, const std::string &group,
-      const RunOptions &options)
-{
-    std::ostringstream os;
-    os << llc::schemeName(scheme) << '|' << group << '|'
-       << static_cast<int>(options.scale) << '|' << options.threshold
-       << '|' << static_cast<int>(options.threshold_mode) << '|'
-       << options.seed;
-    return os.str();
+    RunKey key;
+    key.kind = RunKey::Kind::Group;
+    key.scheme = scheme;
+    key.name = group.name;
+    key.num_cores = static_cast<std::uint32_t>(group.apps.size());
+    key.scale = options.scale;
+    key.threshold = options.threshold;
+    key.threshold_mode = options.threshold_mode;
+    key.repl = options.repl;
+    key.gating = options.gating;
+    key.seed = options.seed;
+    return key;
 }
 
-std::map<std::string, RunResult> &
-runCache()
+RunKey
+soloKey(const std::string &app, std::uint32_t num_cores,
+        const RunOptions &options)
 {
-    static std::map<std::string, RunResult> cache;
-    return cache;
+    // Solo runs are scheme-independent (always the unmanaged LLC), so
+    // the scheme-only option fields are normalised away: a threshold
+    // sweep reuses one solo run per (app, geometry, scale, seed, repl).
+    RunKey key;
+    key.kind = RunKey::Kind::Solo;
+    key.scheme = llc::Scheme::Unmanaged;
+    key.name = app;
+    key.num_cores = num_cores;
+    key.scale = options.scale;
+    key.threshold = 0.0;
+    key.threshold_mode = partition::ThresholdMode::MissRatio;
+    key.repl = options.repl;
+    key.gating = llc::GatingMode::GatedVdd;
+    key.seed = options.seed;
+    return key;
 }
-
-std::map<std::string, double> &
-soloCache()
-{
-    static std::map<std::string, double> cache;
-    return cache;
-}
-
-SystemConfig
-configFor(llc::Scheme scheme, std::uint32_t num_cores,
-          const RunOptions &options)
-{
-    SystemConfig config = num_cores <= 2
-                              ? makeTwoCoreConfig(scheme, options.scale)
-                              : makeFourCoreConfig(scheme, options.scale);
-    config.llc.threshold = options.threshold;
-    config.llc.threshold_mode = options.threshold_mode;
-    config.seed = options.seed;
-    return config;
-}
-
-} // namespace
 
 const RunResult &
 runGroup(llc::Scheme scheme, const trace::WorkloadGroup &group,
          const RunOptions &options)
 {
-    const std::string key = keyOf(scheme, group.name, options);
-    auto &cache = runCache();
-    const auto it = cache.find(key);
-    if (it != cache.end()) {
-        return it->second;
-    }
+    return RunExecutor::instance().run(groupKey(scheme, group, options));
+}
 
-    const auto num_cores =
-        static_cast<std::uint32_t>(group.apps.size());
-    SystemConfig config = configFor(scheme, num_cores, options);
-    COOPSIM_ASSERT(config.num_cores == num_cores,
-                   "group size does not match system");
-
-    System system(config, trace::groupProfiles(group));
-    return cache.emplace(key, system.run()).first->second;
+const RunResult &
+soloResult(const std::string &app, std::uint32_t num_cores,
+           const RunOptions &options)
+{
+    return RunExecutor::instance().run(soloKey(app, num_cores, options));
 }
 
 double
 soloIpc(const std::string &app, std::uint32_t num_cores,
         const RunOptions &options)
 {
-    std::ostringstream os;
-    os << app << '|' << num_cores << '|'
-       << static_cast<int>(options.scale) << '|' << options.seed;
-    auto &cache = soloCache();
-    const auto it = cache.find(os.str());
-    if (it != cache.end()) {
-        return it->second;
-    }
-
-    // "Running in isolation": the app owns the whole (unmanaged) LLC of
-    // the system it will later share.
-    SystemConfig config =
-        configFor(llc::Scheme::Unmanaged, num_cores, options);
-    config.num_cores = 1;
-    config.llc.num_cores = 1;
-
-    System system(config, {trace::specProfile(app)});
-    const RunResult result = system.run();
-    const double ipc = result.apps.at(0).ipc;
-    cache.emplace(os.str(), ipc);
-    return ipc;
+    return soloResult(app, num_cores, options).apps.at(0).ipc;
 }
 
 double
@@ -106,36 +73,116 @@ groupWeightedSpeedup(llc::Scheme scheme,
                      const trace::WorkloadGroup &group,
                      const RunOptions &options)
 {
+    // Enqueue the shared run and every solo denominator before
+    // collecting anything, so even a cold call overlaps them.
+    const auto num_cores = static_cast<std::uint32_t>(group.apps.size());
+    std::vector<RunKey> keys;
+    keys.reserve(group.apps.size() + 1);
+    keys.push_back(groupKey(scheme, group, options));
+    for (const std::string &app : group.apps) {
+        keys.push_back(soloKey(app, num_cores, options));
+    }
+    prefetch(keys);
+
     const RunResult &shared = runGroup(scheme, group, options);
     std::vector<double> alone;
     alone.reserve(group.apps.size());
     for (const std::string &app : group.apps) {
-        alone.push_back(soloIpc(
-            app, static_cast<std::uint32_t>(group.apps.size()), options));
+        alone.push_back(soloIpc(app, num_cores, options));
     }
     return weightedSpeedup(shared, alone);
 }
 
 void
+prefetch(const std::vector<RunKey> &keys)
+{
+    RunExecutor::instance().prefetch(keys);
+}
+
+void
+prefetchGroups(const std::vector<llc::Scheme> &schemes,
+               const std::vector<trace::WorkloadGroup> &groups,
+               const RunOptions &options, bool with_solo)
+{
+    std::vector<RunKey> keys;
+    for (const trace::WorkloadGroup &group : groups) {
+        for (const llc::Scheme scheme : schemes) {
+            keys.push_back(groupKey(scheme, group, options));
+        }
+        if (with_solo) {
+            const auto num_cores =
+                static_cast<std::uint32_t>(group.apps.size());
+            for (const std::string &app : group.apps) {
+                keys.push_back(soloKey(app, num_cores, options));
+            }
+        }
+    }
+    prefetch(keys);
+}
+
+void
 clearRunCache()
 {
-    runCache().clear();
-    soloCache().clear();
+    RunExecutor::instance().clear();
 }
 
 RunScale
 scaleFromArgs(int argc, char **argv)
 {
+    // Scan every argument (last flag wins) so an invalid --scale= is
+    // fatal regardless of where it sits relative to a valid one.
+    RunScale scale = RunScale::Bench;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0 ||
             std::strcmp(argv[i], "--scale=paper") == 0) {
-            return RunScale::Paper;
-        }
-        if (std::strcmp(argv[i], "--scale=test") == 0) {
-            return RunScale::Test;
+            scale = RunScale::Paper;
+        } else if (std::strcmp(argv[i], "--scale=bench") == 0) {
+            scale = RunScale::Bench;
+        } else if (std::strcmp(argv[i], "--scale=test") == 0) {
+            scale = RunScale::Test;
+        } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+            COOPSIM_FATAL("unrecognised scale '", argv[i] + 8,
+                          "' (expected test, bench or paper)");
         }
     }
-    return RunScale::Bench;
+    return scale;
+}
+
+unsigned
+threadsFromArgs(int argc, char **argv)
+{
+    // Last flag wins, matching scaleFromArgs; every value is
+    // validated.
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            const char *value = argv[i] + 10;
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || n < 1 || n > 1024) {
+                COOPSIM_FATAL("invalid --threads value '", value,
+                              "' (expected an integer in [1, 1024])");
+            }
+            threads = static_cast<unsigned>(n);
+        }
+    }
+    return threads;
+}
+
+unsigned
+applyThreadArgs(int argc, char **argv)
+{
+    const unsigned requested = threadsFromArgs(argc, argv);
+    if (requested > 0) {
+        // Before the first instance() this sizes the pool directly —
+        // no default-sized pool is spawned only to be torn down.
+        RunExecutor::requestInitialThreads(requested);
+    }
+    RunExecutor &executor = RunExecutor::instance();
+    if (requested > 0) {
+        executor.setThreads(requested); // no-op if already that size
+    }
+    return executor.threads();
 }
 
 } // namespace coopsim::sim

@@ -1,11 +1,14 @@
 /**
  * @file
- * High-level experiment runner with in-process memoisation.
+ * High-level experiment runner on top of the parallel RunExecutor.
  *
  * The paper's figures reuse the same simulations many times (the same
  * 14 workloads under 5 schemes feed Figures 5, 6 and 7, for example).
- * The runner caches RunResults by configuration so each bench binary
- * pays for every distinct simulation once.
+ * The runGroup/soloIpc helpers are thin, memoised wrappers over
+ * sim::RunExecutor: each distinct simulation is paid for once per
+ * process, and a bench that calls prefetch*() with its whole sweep up
+ * front runs the sweep on all host cores (--threads=N /
+ * COOPSIM_THREADS; default hardware_concurrency).
  */
 
 #ifndef COOPSIM_SIM_RUNNER_HPP
@@ -14,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/executor.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system.hpp"
 #include "trace/workloads.hpp"
@@ -29,12 +33,25 @@ struct RunOptions
     double threshold = 0.05;
     partition::ThresholdMode threshold_mode =
         partition::ThresholdMode::MissRatio;
+    /** Intra-partition victim policy (ablation_replacement). */
+    cache::ReplPolicy repl = cache::ReplPolicy::Lru;
+    /** Static-saving mechanism for unowned ways (ext_drowsy). */
+    llc::GatingMode gating = llc::GatingMode::GatedVdd;
     std::uint64_t seed = 42;
 };
 
+/** The RunKey identifying runGroup(scheme, group, options). */
+RunKey groupKey(llc::Scheme scheme, const trace::WorkloadGroup &group,
+                const RunOptions &options = {});
+
+/** The RunKey identifying soloIpc(app, num_cores, options). */
+RunKey soloKey(const std::string &app, std::uint32_t num_cores,
+               const RunOptions &options = {});
+
 /**
  * Runs workload @p group under @p scheme on the appropriate system
- * (two-core for G2-*, four-core for G4-*). Results are memoised.
+ * (two-core for G2-*, four-core for G4-*). Results are memoised; the
+ * reference stays valid until clearRunCache().
  */
 const RunResult &runGroup(llc::Scheme scheme,
                           const trace::WorkloadGroup &group,
@@ -48,16 +65,42 @@ const RunResult &runGroup(llc::Scheme scheme,
 double soloIpc(const std::string &app, std::uint32_t num_cores,
                const RunOptions &options = {});
 
+/** Full result of the solo run behind soloIpc() (Table 3 wants MPKI). */
+const RunResult &soloResult(const std::string &app,
+                            std::uint32_t num_cores,
+                            const RunOptions &options = {});
+
 /** Weighted speedup of @p group under @p scheme (Equation 1). */
 double groupWeightedSpeedup(llc::Scheme scheme,
                             const trace::WorkloadGroup &group,
                             const RunOptions &options = {});
 
+/**
+ * Enqueues simulations for background execution on the executor pool
+ * and returns immediately; later runGroup/soloIpc calls collect the
+ * memoised results. prefetchGroups() also enqueues the solo runs of
+ * every app in every group (the weighted-speedup denominators).
+ */
+void prefetch(const std::vector<RunKey> &keys);
+void prefetchGroups(const std::vector<llc::Scheme> &schemes,
+                    const std::vector<trace::WorkloadGroup> &groups,
+                    const RunOptions &options, bool with_solo = true);
+
 /** Empties the memoisation cache (tests). */
 void clearRunCache();
 
-/** Parses --full / --scale=paper style bench arguments. */
+/** Parses --full / --scale=paper style bench arguments; fatal() on an
+ *  unrecognised --scale= value. */
 RunScale scaleFromArgs(int argc, char **argv);
+
+/** Parses --threads=N; returns 0 when the flag is absent. */
+unsigned threadsFromArgs(int argc, char **argv);
+
+/**
+ * Applies --threads=N (when present) to the process-wide executor and
+ * returns its final worker count.
+ */
+unsigned applyThreadArgs(int argc, char **argv);
 
 } // namespace coopsim::sim
 

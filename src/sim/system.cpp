@@ -128,20 +128,36 @@ System::run()
 {
     const std::uint32_t n = config_.num_cores;
 
-    auto min_core = [&]() {
+    // The global-order event loop picks the laggard core before every
+    // step, so min_core() dominates the driver. Core clocks are mirrored
+    // into a dense local array (no unique_ptr chase per comparison),
+    // only the stepped core's mirror is refreshed, and the ubiquitous
+    // two-core configuration reduces to a single compare.
+    std::vector<Cycle> clock(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+        clock[c] = cores_[c]->cycle();
+    }
+    auto min_core = [&]() -> std::uint32_t {
+        if (n == 2) {
+            return clock[1] < clock[0] ? 1u : 0u;
+        }
         std::uint32_t best = 0;
         for (std::uint32_t c = 1; c < n; ++c) {
-            if (cores_[c]->cycle() < cores_[best]->cycle()) {
+            if (clock[c] < clock[best]) {
                 best = c;
             }
         }
         return best;
     };
+    auto step = [&](std::uint32_t c) {
+        cores_[c]->step();
+        clock[c] = cores_[c]->cycle();
+    };
 
     // ---- Warm-up: run until every core retired warmup_insts. ------------
     bool warm = config_.warmup_insts == 0;
     while (!warm) {
-        cores_[min_core()]->step();
+        step(min_core());
         warm = true;
         for (std::uint32_t c = 0; c < n; ++c) {
             warm = warm && cores_[c]->retired() >= config_.warmup_insts;
@@ -166,13 +182,13 @@ System::run()
 
         // The epoch boundary fires when global time (the minimum core
         // clock) crosses it; every other core is already past it.
-        if (cores_[c]->cycle() >= next_epoch) {
+        if (clock[c] >= next_epoch) {
             llc_->epoch(next_epoch);
             next_epoch += config_.epoch_cycles;
             continue;
         }
 
-        cores_[c]->step();
+        step(c);
         if (!finished[c] &&
             cores_[c]->measuredInsts() >= config_.insts_per_app) {
             cores_[c]->markQuotaReached();

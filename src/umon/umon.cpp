@@ -33,42 +33,37 @@ UtilityMonitor::access(Addr addr)
     AtdEntry *entries = atdSet(set / config_.sample_period);
     const std::uint32_t ways = config_.llc_ways;
 
-    // Probe, remembering the LRU victim in case of a miss.
-    std::uint32_t hit_way = ways;
-    std::uint32_t victim = 0;
-    std::uint64_t victim_lru = kCycleMax;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        const AtdEntry &e = entries[w];
-        if (e.valid && e.tag == tag) {
-            hit_way = w;
-            break;
-        }
+    // The set's entries are a true-LRU recency stack (MRU first,
+    // invalid entries at the tail), so the probe index of a hit IS its
+    // recency position and the last valid entry IS the LRU victim —
+    // one pass, no timestamp comparisons.
+    for (std::uint32_t p = 0; p < ways; ++p) {
+        AtdEntry &e = entries[p];
         if (!e.valid) {
-            victim = w;
-            victim_lru = 0;
-        } else if (e.lru < victim_lru) {
-            victim = w;
-            victim_lru = e.lru;
-        }
-    }
-
-    if (hit_way < ways) {
-        // Recency position = number of entries more recent than this
-        // one; MRU has position 0.
-        std::uint32_t position = 0;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (w != hit_way && entries[w].valid &&
-                entries[w].lru > entries[hit_way].lru) {
-                ++position;
+            // Miss with a free slot: fill it and rotate to MRU.
+            ++misses_;
+            for (std::uint32_t i = p; i > 0; --i) {
+                entries[i] = entries[i - 1];
             }
+            entries[0] = {tag, true};
+            return;
         }
-        ++position_hits_[position];
-        entries[hit_way].lru = ++lru_clock_;
-        return;
+        if (e.tag == tag) {
+            ++position_hits_[p];
+            for (std::uint32_t i = p; i > 0; --i) {
+                entries[i] = entries[i - 1];
+            }
+            entries[0] = {tag, true};
+            return;
+        }
     }
 
+    // Miss with a full set: the tail entry is the LRU victim.
     ++misses_;
-    entries[victim] = {tag, true, ++lru_clock_};
+    for (std::uint32_t i = ways - 1; i > 0; --i) {
+        entries[i] = entries[i - 1];
+    }
+    entries[0] = {tag, true};
 }
 
 std::vector<double>

@@ -91,11 +91,16 @@ class UtilityMonitor
     }
 
   private:
+    /**
+     * One ATD entry. Entries of a sampled set are kept in recency
+     * order — entries[0] is the MRU tag, invalid entries at the tail —
+     * so a hit's recency position is simply its probe index and no LRU
+     * timestamps or per-hit position scans are needed.
+     */
     struct AtdEntry
     {
         Addr tag = 0;
         bool valid = false;
-        std::uint64_t lru = 0;
     };
 
     /** ATD entries of sampled set @p s_idx. */
@@ -111,7 +116,6 @@ class UtilityMonitor
     std::uint64_t misses_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t sampled_refs_ = 0;
-    std::uint64_t lru_clock_ = 0;
 };
 
 } // namespace coopsim::umon
