@@ -9,57 +9,35 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    using namespace coopsim;
-    const auto options = coopbench::optionsFromArgs(argc, argv);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
 
-    const std::vector<const char *> names = {"G2-2", "G2-3", "G2-8",
-                                             "G2-12"};
-    const std::vector<cache::ReplPolicy> policies = {
-        cache::ReplPolicy::Lru, cache::ReplPolicy::Random,
-        cache::ReplPolicy::Mru};
-
-    // Full sweep up front: every policy per group plus solo baselines.
-    {
-        std::vector<sim::RunKey> keys;
-        for (const char *name : names) {
-            const auto &group = trace::groupByName(name);
-            for (const cache::ReplPolicy policy : policies) {
-                sim::RunOptions opts = options;
-                opts.repl = policy;
-                keys.push_back(sim::groupKey(llc::Scheme::Cooperative,
-                                             group, opts));
-            }
-            for (const std::string &app : group.apps) {
-                keys.push_back(sim::soloKey(app, 2, options));
-            }
-        }
-        sim::prefetch(keys);
-    }
+    api::ExperimentSpec spec;
+    spec.name = "ablation_replacement";
+    spec.layout = "none";
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-2", "G2-3", "G2-8", "G2-12"};
+    spec.repl = {"lru", "random", "mru"};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
     std::printf("Ablation: intra-partition replacement policy "
                 "(Cooperative)\n");
     std::printf("%-8s %10s %10s %10s\n", "group", "LRU", "Random",
                 "MRU");
 
-    for (const char *name : names) {
-        const auto &group = trace::groupByName(name);
-        std::printf("%-8s", name);
-        for (const cache::ReplPolicy policy : policies) {
-            sim::RunOptions opts = options;
-            opts.repl = policy;
-            const sim::RunResult &r =
-                sim::runGroup(llc::Scheme::Cooperative, group, opts);
-            double ws = 0.0;
-            for (std::size_t i = 0; i < group.apps.size(); ++i) {
-                ws += r.apps[i].ipc /
-                      sim::soloIpc(group.apps[i], 2, options);
-            }
-            std::printf(" %10.3f", ws);
+    for (const auto &group : results.groups()) {
+        std::printf("%-8s", group.name.c_str());
+        for (const std::string &policy : results.spec().repl) {
+            api::Cell cell;
+            cell.group = group.name;
+            cell.repl = policy;
+            std::printf(" %10.3f", results.weightedSpeedup(cell));
         }
         std::printf("\n");
     }

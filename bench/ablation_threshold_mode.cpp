@@ -9,63 +9,53 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    using namespace coopsim;
-    using partition::ThresholdMode;
-    auto options = coopbench::optionsFromArgs(argc, argv);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
 
-    const std::vector<const char *> names = {"G2-2", "G2-4", "G2-8",
-                                             "G2-12"};
+    // Two specs so the cross-product stays exactly the keys read
+    // below: Fair Share is mode-independent, so it rides in its own
+    // single-mode spec instead of multiplying the mode axis.
+    api::ExperimentSpec spec;
+    spec.name = "ablation_threshold_mode";
+    spec.layout = "none";
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-2", "G2-4", "G2-8", "G2-12"};
+    spec.threshold_modes = {"missratio", "paperliteral"};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
-    // Full sweep up front: Fair Share baseline, both threshold modes
-    // and the solo baselines per group.
-    {
-        std::vector<sim::RunKey> keys;
-        for (const char *name : names) {
-            const auto &group = trace::groupByName(name);
-            keys.push_back(
-                sim::groupKey(llc::Scheme::FairShare, group, options));
-            for (const ThresholdMode mode :
-                 {ThresholdMode::MissRatio, ThresholdMode::PaperLiteral}) {
-                sim::RunOptions opts = options;
-                opts.threshold_mode = mode;
-                keys.push_back(sim::groupKey(llc::Scheme::Cooperative,
-                                             group, opts));
-            }
-            for (const std::string &app : group.apps) {
-                keys.push_back(sim::soloKey(app, 2, options));
-            }
-        }
-        sim::prefetch(keys);
-    }
+    api::ExperimentSpec ref_spec = spec;
+    ref_spec.schemes = {"fairshare"};
+    ref_spec.threshold_modes = {"missratio"};
+    ref_spec.with_solo = false;
+    const api::ExperimentResults ref = api::runExperiment(ref_spec);
 
     std::printf("Ablation: threshold interpretation "
                 "(MissRatio vs PaperLiteral)\n");
     std::printf("%-8s %-14s %10s %10s %10s %10s\n", "group", "mode",
                 "w.speedup", "dyn(norm)", "stat(norm)", "ways/acc");
 
-    for (const char *name : names) {
-        const auto &group = trace::groupByName(name);
-        sim::RunOptions fair_opts = options;
-        const auto &fair = sim::runGroup(llc::Scheme::FairShare, group,
-                                         fair_opts);
-        for (const ThresholdMode mode :
-             {ThresholdMode::MissRatio, ThresholdMode::PaperLiteral}) {
-            sim::RunOptions opts = options;
-            opts.threshold_mode = mode;
-            const auto &r = sim::runGroup(llc::Scheme::Cooperative,
-                                          group, opts);
-            const double ws = sim::groupWeightedSpeedup(
-                llc::Scheme::Cooperative, group, opts);
+    for (const auto &group : results.groups()) {
+        api::Cell fair_cell;
+        fair_cell.group = group.name;
+        const auto &fair = ref.result(fair_cell);
+        for (const std::string &mode :
+             results.spec().threshold_modes) {
+            api::Cell cell;
+            cell.group = group.name;
+            cell.threshold_mode = mode;
+            const auto &r = results.result(cell);
+            const double ws = results.weightedSpeedup(cell);
             std::printf(
-                "%-8s %-14s %10.3f %10.3f %10.3f %10.2f\n", name,
-                mode == ThresholdMode::MissRatio ? "MissRatio"
-                                                 : "PaperLiteral",
-                ws, r.dynamic_energy_nj / fair.dynamic_energy_nj,
+                "%-8s %-14s %10.3f %10.3f %10.3f %10.2f\n",
+                group.name.c_str(),
+                mode == "missratio" ? "MissRatio" : "PaperLiteral", ws,
+                r.dynamic_energy_nj / fair.dynamic_energy_nj,
                 r.static_energy_nj / fair.static_energy_nj,
                 r.avg_ways_probed);
         }

@@ -12,64 +12,43 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    using namespace coopsim;
-    const auto options = coopbench::optionsFromArgs(argc, argv);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
 
-    const std::vector<const char *> names = {"G2-2", "G2-4", "G2-7",
-                                             "G2-12"};
-
-    // Full sweep up front: both gating modes plus the solo baselines.
-    {
-        std::vector<sim::RunKey> keys;
-        for (const char *name : names) {
-            const auto &group = trace::groupByName(name);
-            for (const llc::GatingMode mode :
-                 {llc::GatingMode::GatedVdd, llc::GatingMode::Drowsy}) {
-                sim::RunOptions opts = options;
-                opts.gating = mode;
-                keys.push_back(sim::groupKey(llc::Scheme::Cooperative,
-                                             group, opts));
-            }
-            for (const std::string &app : group.apps) {
-                keys.push_back(sim::soloKey(app, 2, options));
-            }
-        }
-        sim::prefetch(keys);
-    }
+    api::ExperimentSpec spec;
+    spec.name = "ext_drowsy";
+    spec.layout = "none";
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-2", "G2-4", "G2-7", "G2-12"};
+    spec.gating = {"gatedvdd", "drowsy"};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
     std::printf("Extension: gated-Vdd vs drowsy gating "
                 "(Cooperative)\n");
     std::printf("%-8s %-10s %10s %12s %12s %10s\n", "group", "gating",
                 "w.speedup", "dyn(mJ)", "stat(mJ)", "misses");
 
-    for (const char *name : names) {
-        const auto &group = trace::groupByName(name);
-        for (const llc::GatingMode mode :
-             {llc::GatingMode::GatedVdd, llc::GatingMode::Drowsy}) {
-            sim::RunOptions opts = options;
-            opts.gating = mode;
-            const sim::RunResult &r =
-                sim::runGroup(llc::Scheme::Cooperative, group, opts);
-
-            double ws = 0.0;
-            for (std::size_t i = 0; i < group.apps.size(); ++i) {
-                ws += r.apps[i].ipc /
-                      sim::soloIpc(group.apps[i], 2, options);
-            }
+    for (const auto &group : results.groups()) {
+        for (const std::string &mode : results.spec().gating) {
+            api::Cell cell;
+            cell.group = group.name;
+            cell.gating = mode;
+            const auto &r = results.result(cell);
+            const double ws = results.weightedSpeedup(cell);
             std::uint64_t misses = 0;
             for (const auto &app : r.apps) {
                 misses += app.llc_misses;
             }
             std::printf("%-8s %-10s %10.3f %12.4f %12.4f %10llu\n",
-                        name,
-                        mode == llc::GatingMode::GatedVdd ? "gatedVdd"
-                                                          : "drowsy",
-                        ws, r.dynamic_energy_nj * 1e-6,
+                        group.name.c_str(),
+                        mode == "gatedvdd" ? "gatedVdd" : "drowsy", ws,
+                        r.dynamic_energy_nj * 1e-6,
                         r.static_energy_nj * 1e-6,
                         static_cast<unsigned long long>(misses));
         }

@@ -2,18 +2,25 @@
  * @file
  * Reproduces the paper's Figure 5: weighted speedup of the fourteen
  * two-application workloads under all five schemes, normalised to
- * Fair Share (geometric-mean AVG).
+ * Fair Share (geometric-mean AVG). The same table is reproducible
+ * from a spec file: `coopsim_cli --spec=specs/fig05.spec`.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printNormalisedTable(
-        "Figure 5: weighted speedup, two-application workloads",
-        coopsim::trace::twoCoreGroups(), coopbench::speedupMetric,
-        options, /*higher_better=*/true);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig05";
+    spec.title =
+        "Figure 5: weighted speedup, two-application workloads";
+    spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp", "coop"};
+    spec.groups = {"G2-*"};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

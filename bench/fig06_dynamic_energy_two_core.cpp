@@ -5,16 +5,23 @@
  * Unmanaged ~2.0, UCP ~2.04 (monitor overhead), Cooperative lowest.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printNormalisedTable(
-        "Figure 6: dynamic energy, two-application workloads",
-        coopsim::trace::twoCoreGroups(),
-        coopbench::dynamicEnergyMetric, options,
-        /*higher_better=*/false, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig06";
+    spec.title = "Figure 6: dynamic energy, two-application workloads";
+    spec.metric = "dynamic_energy";
+    spec.higher_better = false;
+    spec.with_solo = false;
+    spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp", "coop"};
+    spec.groups = {"G2-*"};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

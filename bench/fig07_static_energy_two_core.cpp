@@ -5,16 +5,23 @@
  * (Cooperative, Dynamic CPE) save static energy.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printNormalisedTable(
-        "Figure 7: static energy, two-application workloads",
-        coopsim::trace::twoCoreGroups(),
-        coopbench::staticEnergyMetric, options,
-        /*higher_better=*/false, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig07";
+    spec.title = "Figure 7: static energy, two-application workloads";
+    spec.metric = "static_energy";
+    spec.higher_better = false;
+    spec.with_solo = false;
+    spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp", "coop"};
+    spec.groups = {"G2-*"};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

@@ -4,15 +4,21 @@
  * application workloads (4 MB, 16-way LLC), normalised to Fair Share.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printNormalisedTable(
-        "Figure 8: weighted speedup, four-application workloads",
-        coopsim::trace::fourCoreGroups(), coopbench::speedupMetric,
-        options, /*higher_better=*/true);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig08";
+    spec.title =
+        "Figure 8: weighted speedup, four-application workloads";
+    spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp", "coop"};
+    spec.groups = {"G4-*"};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

@@ -4,16 +4,23 @@
  * workloads, normalised to Fair Share (Unmanaged/UCP ~4x).
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printNormalisedTable(
-        "Figure 9: dynamic energy, four-application workloads",
-        coopsim::trace::fourCoreGroups(),
-        coopbench::dynamicEnergyMetric, options,
-        /*higher_better=*/false, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig09";
+    spec.title = "Figure 9: dynamic energy, four-application workloads";
+    spec.metric = "dynamic_energy";
+    spec.higher_better = false;
+    spec.with_solo = false;
+    spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp", "coop"};
+    spec.groups = {"G4-*"};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

@@ -6,19 +6,23 @@
  * T = 0.1 / 0.2 lose performance.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printThresholdTable(
-        "Figure 11: takeover threshold vs weighted speedup",
-        [](const coopbench::WorkloadGroup &group,
-           const coopbench::RunOptions &opts) {
-            return coopsim::sim::groupWeightedSpeedup(
-                coopsim::llc::Scheme::Cooperative, group, opts);
-        },
-        options);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig11";
+    spec.title = "Figure 11: takeover threshold vs weighted speedup";
+    spec.layout = "thresholds";
+    spec.baseline = "0";
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-*"};
+    spec.thresholds = {0.0, 0.01, 0.05, 0.1, 0.2};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

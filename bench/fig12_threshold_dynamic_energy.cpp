@@ -5,20 +5,26 @@
  * fewer tags, so energy falls as T rises.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printThresholdTable(
-        "Figure 12: takeover threshold vs dynamic energy",
-        [](const coopbench::WorkloadGroup &group,
-           const coopbench::RunOptions &opts) {
-            return coopsim::sim::runGroup(
-                       coopsim::llc::Scheme::Cooperative, group, opts)
-                .dynamic_energy_nj;
-        },
-        options, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig12";
+    spec.title = "Figure 12: takeover threshold vs dynamic energy";
+    spec.layout = "thresholds";
+    spec.metric = "dynamic_energy";
+    spec.baseline = "0";
+    spec.higher_better = false;
+    spec.with_solo = false;
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-*"};
+    spec.thresholds = {0.0, 0.01, 0.05, 0.1, 0.2};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

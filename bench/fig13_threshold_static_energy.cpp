@@ -4,20 +4,26 @@
  * energy, normalised to T = 0.
  */
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopbench::printThresholdTable(
-        "Figure 13: takeover threshold vs static energy",
-        [](const coopbench::WorkloadGroup &group,
-           const coopbench::RunOptions &opts) {
-            return coopsim::sim::runGroup(
-                       coopsim::llc::Scheme::Cooperative, group, opts)
-                .static_energy_nj;
-        },
-        options, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig13";
+    spec.title = "Figure 13: takeover threshold vs static energy";
+    spec.layout = "thresholds";
+    spec.metric = "static_energy";
+    spec.baseline = "0";
+    spec.higher_better = false;
+    spec.with_solo = false;
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-*"};
+    spec.thresholds = {0.0, 0.01, 0.05, 0.1, 0.2};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
     return 0;
 }

@@ -12,16 +12,22 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    using coopsim::llc::Scheme;
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopsim::sim::prefetchGroups({Scheme::Cooperative},
-                                 coopsim::trace::twoCoreGroups(),
-                                 options, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig14";
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {"coop"};
+    spec.groups = {"G2-*"};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
     std::printf("Figure 14: events setting takeover bits "
                 "(fractions per group)\n");
@@ -32,9 +38,10 @@ main(int argc, char **argv)
     std::uint64_t tdm = 0;
     std::uint64_t trh = 0;
     std::uint64_t trm = 0;
-    for (const auto &group : coopsim::trace::twoCoreGroups()) {
-        const auto &r =
-            coopsim::sim::runGroup(Scheme::Cooperative, group, options);
+    for (const auto &group : results.groups()) {
+        api::Cell cell;
+        cell.group = group.name;
+        const auto &r = results.result(cell);
         const std::uint64_t total = r.donor_hits + r.donor_misses +
                                     r.recipient_hits +
                                     r.recipient_misses;

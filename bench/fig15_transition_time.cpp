@@ -8,18 +8,26 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
+
 #include "common/stats.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using coopsim::llc::Scheme;
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopsim::sim::prefetchGroups({Scheme::Ucp, Scheme::Cooperative},
-                                 coopsim::trace::twoCoreGroups(),
-                                 options, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig15";
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {"ucp", "coop"};
+    spec.groups = {"G2-*"};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
     std::printf("Figure 15: cycles required to transfer a way\n");
     std::printf("%-8s %14s %14s %8s %8s\n", "group", "UCP",
@@ -27,11 +35,15 @@ main(int argc, char **argv)
 
     std::vector<double> ucp_all;
     std::vector<double> coop_all;
-    for (const auto &group : coopsim::trace::twoCoreGroups()) {
-        const auto &u =
-            coopsim::sim::runGroup(Scheme::Ucp, group, options);
-        const auto &c =
-            coopsim::sim::runGroup(Scheme::Cooperative, group, options);
+    for (const auto &group : results.groups()) {
+        api::Cell ucp_cell;
+        ucp_cell.group = group.name;
+        ucp_cell.scheme = "ucp";
+        api::Cell coop_cell;
+        coop_cell.group = group.name;
+        coop_cell.scheme = "coop";
+        const auto &u = results.result(ucp_cell);
+        const auto &c = results.result(coop_cell);
         if (u.completed_transfers > 0) {
             ucp_all.push_back(u.avg_transfer_cycles);
         }

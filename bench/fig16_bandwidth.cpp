@@ -6,18 +6,26 @@
  * plateau — and flushes more lines in total.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
 
 int
 main(int argc, char **argv)
 {
-    using coopsim::llc::Scheme;
-    const auto options = coopbench::optionsFromArgs(argc, argv);
-    coopsim::sim::prefetchGroups({Scheme::Ucp, Scheme::Cooperative},
-                                 coopsim::trace::twoCoreGroups(),
-                                 options, /*with_solo=*/false);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "fig16";
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {"ucp", "coop"};
+    spec.groups = {"G2-*"};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
     // Aggregate the per-decision flush time series over all groups.
     std::vector<std::uint64_t> ucp_series;
@@ -25,11 +33,15 @@ main(int argc, char **argv)
     std::uint64_t ucp_lines = 0;
     std::uint64_t coop_lines = 0;
     coopsim::Tick bin = 1;
-    for (const auto &group : coopsim::trace::twoCoreGroups()) {
-        const auto &u =
-            coopsim::sim::runGroup(Scheme::Ucp, group, options);
-        const auto &c =
-            coopsim::sim::runGroup(Scheme::Cooperative, group, options);
+    for (const auto &group : results.groups()) {
+        api::Cell ucp_cell;
+        ucp_cell.group = group.name;
+        ucp_cell.scheme = "ucp";
+        api::Cell coop_cell;
+        coop_cell.group = group.name;
+        coop_cell.scheme = "coop";
+        const auto &u = results.result(ucp_cell);
+        const auto &c = results.result(coop_cell);
         bin = c.flush_series_bin;
         ucp_series.resize(
             std::max(ucp_series.size(), u.flush_series.size()), 0);

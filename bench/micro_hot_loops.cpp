@@ -26,11 +26,10 @@
 #include <unordered_set>
 #include <vector>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
+
 #include "cache/cache.hpp"
 #include "common/rng.hpp"
-#include "sim/executor.hpp"
-#include "trace/workloads.hpp"
 #include "umon/umon.hpp"
 
 using namespace coopsim;
@@ -164,38 +163,34 @@ benchUmonAccess(std::uint64_t &checksum)
  * Every simulation key figs 5-16 request at @p scale: the five-scheme
  * sweep over the two- and four-core groups (figs 5-10 and 14-16), the
  * Cooperative threshold sweep (figs 11-13) and all weighted-speedup
- * solo baselines.
+ * solo baselines — two ExperimentSpecs, deduplicated.
  */
 std::vector<sim::RunKey>
-figSweepKeys(const sim::RunOptions &base)
+figSweepKeys(const std::string &scale)
 {
+    api::ExperimentSpec schemes_spec;
+    schemes_spec.layout = "none";
+    schemes_spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp",
+                            "coop"};
+    schemes_spec.groups = {"G2-*", "G4-*"};
+    schemes_spec.scale = scale;
+
+    api::ExperimentSpec threshold_spec;
+    threshold_spec.layout = "none";
+    threshold_spec.schemes = {"coop"};
+    threshold_spec.groups = {"G2-*"};
+    threshold_spec.thresholds = {0.0, 0.01, 0.05, 0.1, 0.2};
+    threshold_spec.with_solo = false;
+    threshold_spec.scale = scale;
+
     std::unordered_set<sim::RunKey, sim::RunKeyHash> seen;
     std::vector<sim::RunKey> keys;
-    const auto add = [&](const sim::RunKey &key) {
-        if (seen.insert(key).second) {
-            keys.push_back(key);
-        }
-    };
-
-    for (const auto *groups :
-         {&trace::twoCoreGroups(), &trace::fourCoreGroups()}) {
-        for (const trace::WorkloadGroup &group : *groups) {
-            const auto num_cores =
-                static_cast<std::uint32_t>(group.apps.size());
-            for (const llc::Scheme scheme : coopbench::allSchemes()) {
-                add(sim::groupKey(scheme, group, base));
+    for (const api::ExperimentSpec *spec :
+         {&schemes_spec, &threshold_spec}) {
+        for (sim::RunKey &key : api::expandSpec(*spec)) {
+            if (seen.insert(key).second) {
+                keys.push_back(std::move(key));
             }
-            for (const std::string &app : group.apps) {
-                add(sim::soloKey(app, num_cores, base));
-            }
-        }
-    }
-    for (const double t : coopbench::thresholdSweep()) {
-        sim::RunOptions options = base;
-        options.threshold = t;
-        for (const trace::WorkloadGroup &group :
-             trace::twoCoreGroups()) {
-            add(sim::groupKey(llc::Scheme::Cooperative, group, options));
         }
     }
     return keys;
@@ -210,9 +205,9 @@ struct SweepTimes
 
 /** Serial (one thread, no pool) vs RunExecutor on the full key set. */
 SweepTimes
-benchExecutorSweep(const sim::RunOptions &base, std::uint64_t &checksum)
+benchExecutorSweep(const std::string &scale, std::uint64_t &checksum)
 {
-    const std::vector<sim::RunKey> keys = figSweepKeys(base);
+    const std::vector<sim::RunKey> keys = figSweepKeys(scale);
     SweepTimes times;
     times.runs = keys.size();
 
@@ -254,14 +249,13 @@ benchExecutorSweep(const sim::RunOptions &base, std::uint64_t &checksum)
 int
 main(int argc, char **argv)
 {
-    sim::RunOptions options;
-    options.scale = sim::scaleFromArgs(argc, argv);
-    const unsigned threads = sim::applyThreadArgs(argc, argv);
+    const api::CliOptions cli =
+        api::parseCli(argc, argv, api::kBenchFlags,
+                      "usage: micro_hot_loops [--scale=test|bench|"
+                      "paper] [--full] [--threads=N]\n");
+    const unsigned threads = api::applyCliThreads(cli);
     const unsigned host_cores = std::thread::hardware_concurrency();
-    const char *scale_name =
-        options.scale == sim::RunScale::Paper
-            ? "paper"
-            : (options.scale == sim::RunScale::Test ? "test" : "bench");
+    const char *scale_name = cli.scale_name.c_str();
 
     std::printf("# hot-path microbenchmarks (scale: %s, threads: %u, "
                 "host cores: %u)\n",
@@ -279,7 +273,7 @@ main(int argc, char **argv)
     const double umon_ns = benchUmonAccess(checksum);
     std::printf("UMON access (full ATD)     %8.2f ns/op\n", umon_ns);
 
-    const SweepTimes sweep = benchExecutorSweep(options, checksum);
+    const SweepTimes sweep = benchExecutorSweep(cli.scale_name, checksum);
     const double speedup =
         sweep.parallel_s > 0.0 ? sweep.serial_s / sweep.parallel_s : 0.0;
     std::printf("fig05-16 sweep: %zu runs, serial %.2fs, "

@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "sim/system.hpp"
 
 namespace
 {
@@ -49,10 +49,8 @@ main()
     using coopsim::sim::makeFourCoreConfig;
     using coopsim::sim::makeTwoCoreConfig;
     using coopsim::sim::RunScale;
-    const auto two = makeTwoCoreConfig(
-        coopsim::llc::Scheme::Cooperative, RunScale::Paper);
-    const auto four = makeFourCoreConfig(
-        coopsim::llc::Scheme::Cooperative, RunScale::Paper);
+    const auto two = makeTwoCoreConfig("coop", RunScale::Paper);
+    const auto four = makeFourCoreConfig("coop", RunScale::Paper);
 
     std::printf("-- geometry-derived --\n");
     printConfig("Two core", two.num_cores, two.llc.geometry.numSets(),

@@ -7,34 +7,38 @@
 
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include <coopsim/experiment.hpp>
+
+#include "trace/spec_profiles.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace coopsim;
-    const auto options = coopbench::optionsFromArgs(argc, argv);
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    // Pure solo sweep: no group axis at all, just every Table 3
+    // benchmark alone on the two-core geometry (identical runs to the
+    // weighted-speedup denominators, so figures reuse them for free).
+    api::ExperimentSpec spec;
+    spec.name = "table3";
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {};
+    spec.solos = {"*"};
+    spec.solo_cores = 2;
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
     std::printf("Table 3: workload classification by MPKI\n");
     std::printf("%-12s %10s %10s %8s %8s\n", "benchmark", "measured",
                 "paper", "class", "match");
 
     const auto &apps = trace::allSpecApps();
-
-    // Every benchmark's solo run enqueued up front (identical to the
-    // weighted-speedup denominators, so figures reuse them for free).
-    {
-        std::vector<sim::RunKey> keys;
-        keys.reserve(apps.size());
-        for (const std::string &name : apps) {
-            keys.push_back(sim::soloKey(name, 2, options));
-        }
-        sim::prefetch(keys);
-    }
-
     int matches = 0;
     for (const std::string &name : apps) {
-        const sim::RunResult &r = sim::soloResult(name, 2, options);
+        const sim::RunResult &r = results.soloResult(name, 2);
         const double mpki = r.apps[0].mpki;
         const auto cls = trace::classifyMpki(mpki);
         const auto paper_cls = trace::mpkiClassOf(name);

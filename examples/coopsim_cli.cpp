@@ -1,116 +1,104 @@
 /**
  * @file
- * Command-line driver: run any scheme on any Table 4 workload group
- * with configurable threshold/seed/scale, and print either a full
- * stat dump or a CSV row — the entry point for scripting custom
- * experiments on top of the library.
+ * Command-line driver over the experiment API.
  *
- * Usage:
- *   coopsim_cli [--scheme=NAME] [--group=G2-3] [--threshold=0.05]
- *               [--seed=N] [--csv] [--full|--scale=test]
+ * Two modes:
  *
- * Schemes: unmanaged fairshare cpe ucp coop (default coop).
+ *  - `--spec=FILE` runs a full declarative experiment from a spec
+ *    file (see specs/ for the paper's figures) and renders its table;
+ *    `--scale=`/`--threads=`/`--seed=` override the file. Any figure
+ *    bench is reproducible this way, bit-identically:
+ *        coopsim_cli --spec=specs/fig05.spec --scale=test
+ *  - otherwise, one (scheme x group) cell with configurable
+ *    threshold/seed/scale, printed as a full stat dump or a CSV row.
+ *
+ * Schemes/groups/scales are registry names: `unmanaged fairshare ucp
+ * cpe coop`, `G2-1`..`G4-14`, `test bench paper`.
  */
 
 #include <cstdio>
-#include <cstring>
-#include <string>
+
+#include <coopsim/experiment.hpp>
 
 #include "sim/report.hpp"
-#include "sim/runner.hpp"
 
 using namespace coopsim;
 
 namespace
 {
 
-llc::Scheme
-parseScheme(const std::string &name)
-{
-    if (name == "unmanaged") {
-        return llc::Scheme::Unmanaged;
-    }
-    if (name == "fairshare") {
-        return llc::Scheme::FairShare;
-    }
-    if (name == "cpe") {
-        return llc::Scheme::DynamicCpe;
-    }
-    if (name == "ucp") {
-        return llc::Scheme::Ucp;
-    }
-    if (name == "coop") {
-        return llc::Scheme::Cooperative;
-    }
-    std::fprintf(stderr, "unknown scheme '%s' (use unmanaged, "
-                         "fairshare, cpe, ucp or coop)\n",
-                 name.c_str());
-    std::exit(1);
-}
-
-bool
-takeValue(const char *arg, const char *key, std::string &out)
-{
-    const std::size_t len = std::strlen(key);
-    if (std::strncmp(arg, key, len) == 0) {
-        out = arg + len;
-        return true;
-    }
-    return false;
-}
+constexpr const char *kUsage =
+    "usage: coopsim_cli [--spec=FILE] [--scheme=coop] [--group=G2-3]\n"
+    "                   [--threshold=0.05] [--seed=N] [--csv]\n"
+    "                   [--scale=test|bench|paper] [--full] "
+    "[--threads=N]\n"
+    "with --spec, only --scale/--threads/--seed may also be given\n"
+    "(they override the spec file).\n";
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string scheme_name = "coop";
-    std::string group_name = "G2-3";
-    std::string value;
-    bool csv = false;
+    api::CliOptions cli =
+        api::parseCli(argc, argv, api::kAllFlags, kUsage);
 
-    sim::RunOptions options;
-    options.scale = sim::scaleFromArgs(argc, argv);
-    sim::applyThreadArgs(argc, argv);
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (takeValue(arg, "--scheme=", value)) {
-            scheme_name = value;
-        } else if (takeValue(arg, "--group=", value)) {
-            group_name = value;
-        } else if (takeValue(arg, "--threshold=", value)) {
-            options.threshold = std::stod(value);
-        } else if (takeValue(arg, "--seed=", value)) {
-            options.seed = std::stoull(value);
-        } else if (std::strcmp(arg, "--csv") == 0) {
-            csv = true;
-        } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("usage: coopsim_cli [--scheme=coop] "
-                        "[--group=G2-3] [--threshold=0.05] [--seed=N] "
-                        "[--csv] [--full] [--threads=N]\n");
-            return 0;
+    if (!cli.spec_path.empty()) {
+        // Re-parse against the spec-mode flag set so a flag the spec
+        // run would silently drop (--scheme, --group, --threshold,
+        // --csv) is rejected instead.
+        cli = api::parseCli(argc, argv,
+                            api::kFlagSpec | api::kFlagScale |
+                                api::kFlagThreads | api::kFlagSeed,
+                            kUsage);
+    }
+    const unsigned threads = api::applyCliThreads(cli);
+
+    if (!cli.spec_path.empty()) {
+        api::ExperimentSpec spec = api::parseSpecFile(cli.spec_path);
+        if (cli.scale_set) {
+            spec.scale = cli.scale_name;
         }
+        if (cli.seed.has_value()) {
+            spec.seeds = {*cli.seed};
+        }
+        // Reprint the bench preamble at the spec's effective scale so
+        // the output is bit-identical to the fig binary's.
+        api::CliOptions effective = cli;
+        effective.scale = api::scaleRegistry().get(spec.scale);
+        api::printPreamble(effective, threads);
+        api::printExperiment(spec);
+        return 0;
     }
 
-    const llc::Scheme scheme = parseScheme(scheme_name);
-    const trace::WorkloadGroup &group = trace::groupByName(group_name);
-    const sim::RunResult &result =
-        sim::runGroup(scheme, group, options);
-    const double ws =
-        sim::groupWeightedSpeedup(scheme, group, options);
+    // Single-cell mode: one spec with one value per axis.
+    api::ExperimentSpec spec;
+    spec.name = "cli";
+    spec.layout = "none";
+    spec.schemes = {cli.scheme};
+    spec.groups = {cli.group};
+    spec.thresholds = {cli.threshold.value_or(0.05)};
+    spec.seeds = {cli.seed.value_or(42)};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
-    if (csv) {
+    api::Cell cell;
+    cell.group = cli.group;
+    const sim::RunResult &result = results.result(cell);
+    const double ws = results.weightedSpeedup(cell);
+
+    if (cli.csv) {
         std::printf("%s\n%s\n", sim::csvHeader().c_str(),
-                    sim::csvRow(llc::schemeName(scheme), group.name,
-                                result, ws)
+                    sim::csvRow(api::schemeLabel(cli.scheme),
+                                cli.group, result, ws)
                         .c_str());
         return 0;
     }
 
     std::printf("# %s on %s (T=%.2f, seed=%llu)\n",
-                llc::schemeName(scheme), group.name.c_str(),
-                options.threshold,
-                static_cast<unsigned long long>(options.seed));
+                api::schemeLabel(cli.scheme).c_str(),
+                cli.group.c_str(), spec.thresholds[0],
+                static_cast<unsigned long long>(spec.seeds[0]));
     std::printf("weighted_speedup %f\n%s", ws,
                 sim::formatRunResult(result, "run").c_str());
     return 0;

@@ -6,17 +6,19 @@
  * the paper cites), with the unused remainder power-gated.
  *
  * The example subclasses llc::BaseLlc — the same interface the five
- * built-in schemes implement — and runs it against FairShare on one
- * workload.
+ * built-in schemes implement — and then simply REGISTERS it under the
+ * name "priority". From that point it is a first-class scheme: it
+ * runs on the executor through the normal System event loop, is
+ * memoised by RunKey, and could be named in any ExperimentSpec or
+ * spec file, next to "fairshare" and "coop".
  */
 
+#include <bit>
 #include <cstdio>
-#include <memory>
 
-#include "core/trace_core.hpp"
+#include <coopsim/experiment.hpp>
+
 #include "llc/schemes.hpp"
-#include "sim/system.hpp"
-#include "trace/workloads.hpp"
 
 using namespace coopsim;
 
@@ -99,8 +101,8 @@ class PriorityLlc final : public llc::BaseLlc
         return static_cast<double>(powered_);
     }
 
-    // Reuse an existing tag for simplicity; a real extension would
-    // grow the enum.
+    // Reuse an existing tag for simplicity; the registry name is the
+    // real identity now.
     llc::Scheme scheme() const override
     {
         return llc::Scheme::FairShare;
@@ -111,85 +113,58 @@ class PriorityLlc final : public llc::BaseLlc
     std::uint32_t powered_ = 0;
 };
 
-/** Runs @p llc under the group's traffic; returns per-core IPC. */
-std::vector<double>
-drive(llc::BaseLlc &llc, const trace::WorkloadGroup &group,
-      const sim::SystemConfig &config)
-{
-    trace::StreamGeometry sg;
-    sg.llc_sets = config.llc.geometry.numSets();
-    sg.block_bytes = config.llc.geometry.block_bytes;
-
-    std::vector<std::unique_ptr<trace::SyntheticStream>> streams;
-    std::vector<std::unique_ptr<core::TraceCore>> cores;
-    const auto n = static_cast<std::uint32_t>(group.apps.size());
-    for (std::uint32_t c = 0; c < n; ++c) {
-        streams.push_back(std::make_unique<trace::SyntheticStream>(
-            trace::specProfile(group.apps[c]), sg, c, 7 + c));
-        cores.push_back(std::make_unique<core::TraceCore>(
-            c, config.core, llc, *streams[c]));
-    }
-
-    const InstCount quota = config.insts_per_app / 2;
-    bool done = false;
-    while (!done) {
-        std::uint32_t min = 0;
-        for (std::uint32_t c = 1; c < n; ++c) {
-            if (cores[c]->cycle() < cores[min]->cycle()) {
-                min = c;
-            }
-        }
-        cores[min]->step();
-        done = true;
-        for (std::uint32_t c = 0; c < n; ++c) {
-            done = done && cores[c]->retired() >= quota;
-        }
-    }
-    std::vector<double> ipcs;
-    for (std::uint32_t c = 0; c < n; ++c) {
-        ipcs.push_back(static_cast<double>(cores[c]->retired()) /
-                       static_cast<double>(cores[c]->cycle()));
-    }
-    return ipcs;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const trace::WorkloadGroup &group =
-        trace::groupByName(argc > 1 ? argv[1] : "G2-5");
-    const sim::SystemConfig config = sim::makeTwoCoreConfig(
-        llc::Scheme::FairShare, sim::RunScale::Bench);
+    const api::CliOptions cli =
+        api::parseCli(argc, argv, api::kExampleFlags,
+                      "usage: custom_policy [group] [--scale=...] "
+                      "[--full] [--threads=N]\n");
+    api::applyCliThreads(cli);
+    const std::string group_name =
+        cli.positional.empty() ? "G2-5" : cli.positional.front();
 
+    // The whole extension: one registration call. Everything below
+    // runs "priority" through the same executor/memoisation path as
+    // the built-in schemes.
+    api::registerScheme(
+        "priority", "Priority(5w)",
+        [](const llc::LlcConfig &config, mem::DramModel &dram) {
+            return std::make_unique<PriorityLlc>(config, dram,
+                                                 /*priority_ways=*/5);
+        });
+
+    api::ExperimentSpec spec;
+    spec.name = "custom_policy";
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {"fairshare", "priority"};
+    spec.groups = {group_name};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
+
+    const trace::WorkloadGroup &group = results.groups().front();
     std::printf("custom QoS policy on %s (%s prioritised)\n\n",
                 group.name.c_str(), group.apps[0].c_str());
     std::printf("%-22s %10s %10s %12s %10s\n", "policy", "ipc[0]",
-                "ipc[1]", "dyn(mJ)", "powered");
+                "ipc[1]", "dyn(mJ)", "ways/acc");
 
-    {
-        mem::DramModel dram(config.dram);
-        llc::FairShareLlc fair(config.llc, dram);
-        const auto ipcs = drive(fair, group, config);
-        std::printf("%-22s %10.3f %10.3f %12.4f %10.1f\n",
-                    "FairShare", ipcs[0], ipcs[1],
-                    fair.energy().totals().dynamicPaper() * 1e-6,
-                    fair.poweredWays());
-    }
-    {
-        mem::DramModel dram(config.dram);
-        PriorityLlc qos(config.llc, dram, /*priority_ways=*/5);
-        const auto ipcs = drive(qos, group, config);
-        std::printf("%-22s %10.3f %10.3f %12.4f %10.1f\n",
-                    "Priority(5 ways)", ipcs[0], ipcs[1],
-                    qos.energy().totals().dynamicPaper() * 1e-6,
-                    qos.poweredWays());
+    for (const std::string &scheme : results.spec().schemes) {
+        api::Cell cell;
+        cell.group = group.name;
+        cell.scheme = scheme;
+        const sim::RunResult &r = results.result(cell);
+        std::printf("%-22s %10.3f %10.3f %12.4f %10.2f\n",
+                    api::schemeLabel(scheme).c_str(), r.apps[0].ipc,
+                    r.apps[1].ipc, r.dynamic_energy_nj * 1e-6,
+                    r.avg_ways_probed);
     }
 
     std::printf("\nThe custom policy trades the background core's "
                 "performance for the\npriority core's, and gates the "
-                "leftover capacity — all through the\nsame BaseLlc "
-                "interface the paper's schemes use.\n");
+                "leftover capacity — all through the\nsame BaseLlc + "
+                "registry interface the paper's schemes use.\n");
     return 0;
 }

@@ -10,64 +10,52 @@
 #include <cstdio>
 #include <string>
 
-#include "sim/runner.hpp"
+#include <coopsim/experiment.hpp>
 
 using namespace coopsim;
 
 int
 main(int argc, char **argv)
 {
-    std::string group_name = "G2-2";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (!arg.empty() && arg[0] != '-') {
-            group_name = arg;
-        }
-    }
-    const trace::WorkloadGroup &group = trace::groupByName(group_name);
+    const api::CliOptions cli =
+        api::parseCli(argc, argv, api::kExampleFlags,
+                      "usage: energy_explorer [group] [--scale=...] "
+                      "[--full] [--threads=N]\n");
+    api::applyCliThreads(cli);
+    const std::string group_name =
+        cli.positional.empty() ? "G2-2" : cli.positional.front();
 
-    // One list drives both the prefetch below and the print loop — a
-    // sweep value added here is automatically prefetched too.
-    const std::vector<double> sweep = {0.0,  0.01, 0.02, 0.05,
-                                       0.08, 0.1,  0.15, 0.2};
+    // The Cooperative threshold sweep: one axis carries the whole
+    // experiment; a value added here is automatically prefetched too.
+    api::ExperimentSpec sweep_spec;
+    sweep_spec.name = "energy_explorer";
+    sweep_spec.layout = "none";
+    sweep_spec.schemes = {"coop"};
+    sweep_spec.groups = {group_name};
+    sweep_spec.thresholds = {0.0,  0.01, 0.02, 0.05,
+                             0.08, 0.1,  0.15, 0.2};
+    sweep_spec.scale = cli.scale_name;
+    const api::ExperimentResults sweep = api::runExperiment(sweep_spec);
 
-    sim::RunOptions base;
-    base.scale = sim::scaleFromArgs(argc, argv);
-    sim::applyThreadArgs(argc, argv);
+    // Fair Share reference for the normalisation, prefetched in
+    // parallel with the sweep above.
+    api::ExperimentSpec ref_spec = sweep_spec;
+    ref_spec.schemes = {"fairshare"};
+    ref_spec.thresholds = {0.0};
+    const api::ExperimentResults ref = api::runExperiment(ref_spec);
 
-    // Enqueue the whole threshold sweep plus the Fair Share reference
-    // and solo baselines up front.
-    {
-        std::vector<sim::RunKey> keys;
-        keys.push_back(sim::groupKey(llc::Scheme::FairShare, group, base));
-        for (const double t : sweep) {
-            sim::RunOptions options = base;
-            options.threshold = t;
-            keys.push_back(
-                sim::groupKey(llc::Scheme::Cooperative, group, options));
-        }
-        for (const std::string &app : group.apps) {
-            keys.push_back(sim::soloKey(
-                app, static_cast<std::uint32_t>(group.apps.size()),
-                base));
-        }
-        sim::prefetch(keys);
-    }
-
-    // Fair Share reference for the energy normalisation.
-    const sim::RunResult &fair =
-        sim::runGroup(llc::Scheme::FairShare, group, base);
-    const double fair_ws = sim::groupWeightedSpeedup(
-        llc::Scheme::FairShare, group, base);
+    const trace::WorkloadGroup &group = sweep.groups().front();
+    api::Cell fair_cell;
+    fair_cell.group = group.name;
+    const sim::RunResult &fair = ref.result(fair_cell);
+    const double fair_ws = ref.weightedSpeedup(fair_cell);
 
     // LLC associativity of the system this group runs on (8 for the
     // two-core geometry, 16 for four-core).
     const double llc_ways = static_cast<double>(
         (group.apps.size() <= 2
-             ? sim::makeTwoCoreConfig(llc::Scheme::Cooperative,
-                                      base.scale)
-             : sim::makeFourCoreConfig(llc::Scheme::Cooperative,
-                                       base.scale))
+             ? sim::makeTwoCoreConfig("coop", cli.scale)
+             : sim::makeFourCoreConfig("coop", cli.scale))
             .llc.geometry.ways);
 
     std::printf("threshold sweep for %s (values normalised to "
@@ -76,13 +64,12 @@ main(int argc, char **argv)
     std::printf("%8s %12s %12s %12s %10s %8s\n", "T", "w.speedup",
                 "dynamic", "static", "ways/acc", "offways");
 
-    for (const double t : sweep) {
-        sim::RunOptions options = base;
-        options.threshold = t;
-        const sim::RunResult &r =
-            sim::runGroup(llc::Scheme::Cooperative, group, options);
-        const double ws = sim::groupWeightedSpeedup(
-            llc::Scheme::Cooperative, group, options);
+    for (const double t : sweep.spec().thresholds) {
+        api::Cell cell;
+        cell.group = group.name;
+        cell.threshold = t;
+        const sim::RunResult &r = sweep.result(cell);
+        const double ws = sweep.weightedSpeedup(cell);
 
         // Average powered ways back-computed from the leakage ratio.
         const double powered_ratio =

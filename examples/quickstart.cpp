@@ -1,7 +1,7 @@
 /**
  * @file
- * Quickstart: build the paper's two-core system, run one workload
- * group under every partitioning scheme, and print the headline
+ * Quickstart: one ExperimentSpec runs one workload group under every
+ * partitioning scheme, and the results view prints the headline
  * numbers (weighted speedup, energy, ways probed).
  *
  * Usage: quickstart [group] [--full]
@@ -11,35 +11,29 @@
 #include <cstdio>
 #include <string>
 
-#include "sim/runner.hpp"
+#include <coopsim/experiment.hpp>
 
 using namespace coopsim;
 
 int
 main(int argc, char **argv)
 {
-    std::string group_name = "G2-3";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (!arg.empty() && arg[0] != '-') {
-            group_name = arg;
-        }
-    }
+    const api::CliOptions cli =
+        api::parseCli(argc, argv, api::kExampleFlags,
+                      "usage: quickstart [group] [--scale=...] "
+                      "[--full] [--threads=N]\n");
+    api::applyCliThreads(cli);
 
-    sim::RunOptions options;
-    options.scale = sim::scaleFromArgs(argc, argv);
-    sim::applyThreadArgs(argc, argv);
+    api::ExperimentSpec spec;
+    spec.name = "quickstart";
+    spec.layout = "none";
+    spec.schemes = {"unmanaged", "fairshare", "cpe", "ucp", "coop"};
+    spec.groups = {cli.positional.empty() ? "G2-3"
+                                          : cli.positional.front()};
+    spec.scale = cli.scale_name;
+    const api::ExperimentResults results = api::runExperiment(spec);
 
-    const trace::WorkloadGroup &group = trace::groupByName(group_name);
-
-    // Enqueue the whole sweep (every scheme + solo baselines) before
-    // collecting anything; the executor runs them concurrently.
-    sim::prefetchGroups(
-        {llc::Scheme::Unmanaged, llc::Scheme::FairShare,
-         llc::Scheme::DynamicCpe, llc::Scheme::Ucp,
-         llc::Scheme::Cooperative},
-        {group}, options);
-
+    const trace::WorkloadGroup &group = results.groups().front();
     std::printf("workload %s:", group.name.c_str());
     for (const auto &app : group.apps) {
         std::printf(" %s", app.c_str());
@@ -48,16 +42,12 @@ main(int argc, char **argv)
                 "w.speedup", "dyn(mJ)", "stat(mJ)", "ways/acc",
                 "LLCmiss%");
 
-    const llc::Scheme schemes[] = {
-        llc::Scheme::Unmanaged,   llc::Scheme::FairShare,
-        llc::Scheme::DynamicCpe,  llc::Scheme::Ucp,
-        llc::Scheme::Cooperative,
-    };
-
-    for (const llc::Scheme scheme : schemes) {
-        const sim::RunResult &r = sim::runGroup(scheme, group, options);
-        const double ws = sim::groupWeightedSpeedup(scheme, group,
-                                                    options);
+    for (const std::string &scheme : results.spec().schemes) {
+        api::Cell cell;
+        cell.group = group.name;
+        cell.scheme = scheme;
+        const sim::RunResult &r = results.result(cell);
+        const double ws = results.weightedSpeedup(cell);
         std::uint64_t acc = 0;
         std::uint64_t miss = 0;
         for (const auto &app : r.apps) {
@@ -65,7 +55,7 @@ main(int argc, char **argv)
             miss += app.llc_misses;
         }
         std::printf("%-14s %9.3f %12.3f %12.3f %10.2f %8.2f\n",
-                    llc::schemeName(scheme), ws,
+                    api::schemeLabel(scheme).c_str(), ws,
                     r.dynamic_energy_nj * 1e-6,
                     r.static_energy_nj * 1e-6, r.avg_ways_probed,
                     acc > 0 ? 100.0 * static_cast<double>(miss) /
@@ -74,12 +64,13 @@ main(int argc, char **argv)
     }
 
     std::printf("\nPer-app IPC under Cooperative vs alone:\n");
-    const sim::RunResult &coop =
-        sim::runGroup(llc::Scheme::Cooperative, group, options);
+    api::Cell coop_cell;
+    coop_cell.group = group.name;
+    coop_cell.scheme = "coop";
+    const sim::RunResult &coop = results.result(coop_cell);
+    const auto cores = static_cast<std::uint32_t>(group.apps.size());
     for (std::size_t i = 0; i < group.apps.size(); ++i) {
-        const double alone = sim::soloIpc(
-            group.apps[i],
-            static_cast<std::uint32_t>(group.apps.size()), options);
+        const double alone = results.soloIpc(group.apps[i], cores);
         std::printf("  %-12s ipc=%.3f alone=%.3f (%.2fx)\n",
                     group.apps[i].c_str(), coop.apps[i].ipc, alone,
                     coop.apps[i].ipc / alone);

@@ -1,0 +1,145 @@
+#include "api/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "api/parse_util.hpp"
+#include "api/registry.hpp"
+#include "common/logging.hpp"
+#include "sim/executor.hpp"
+
+namespace coopsim::api
+{
+
+using detail::parseDouble;
+using detail::parseUint;
+
+namespace
+{
+
+/** True when @p arg is "--key=..." ; @p value gets the suffix. */
+bool
+takeValue(const char *arg, const char *key, std::string &value)
+{
+    const std::size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) == 0) {
+        value = arg + len;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+CliOptions
+parseCli(int argc, char **argv, unsigned allowed, const char *usage,
+         bool reject_unknown)
+{
+    CliOptions options;
+    std::string value;
+    // Last flag wins throughout, and every occurrence is validated,
+    // matching the historical scaleFromArgs/threadsFromArgs contract.
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0) {
+            if (allowed & kFlagPositional) {
+                options.positional.push_back(arg);
+                continue;
+            }
+            if (reject_unknown) {
+                COOPSIM_FATAL("unexpected argument '", arg,
+                              "' (try --help)");
+            }
+            continue;
+        }
+        if (reject_unknown && std::strcmp(arg, "--help") == 0) {
+            std::printf("%s", usage != nullptr ? usage : "");
+            std::exit(0);
+        }
+        if ((allowed & kFlagScale) && std::strcmp(arg, "--full") == 0) {
+            options.scale = sim::RunScale::Paper;
+            options.scale_name = "paper";
+            options.scale_set = true;
+        } else if ((allowed & kFlagScale) &&
+                   takeValue(arg, "--scale=", value)) {
+            options.scale = scaleRegistry().get(value);
+            options.scale_name = value;
+            options.scale_set = true;
+        } else if ((allowed & kFlagThreads) &&
+                   takeValue(arg, "--threads=", value)) {
+            const std::uint64_t n = parseUint(value, "--threads");
+            if (n < 1 || n > 1024) {
+                COOPSIM_FATAL("invalid --threads value '", value,
+                              "' (expected an integer in [1, 1024])");
+            }
+            options.threads = static_cast<unsigned>(n);
+        } else if ((allowed & kFlagSpec) &&
+                   takeValue(arg, "--spec=", value)) {
+            options.spec_path = value;
+        } else if ((allowed & kFlagScheme) &&
+                   takeValue(arg, "--scheme=", value)) {
+            schemeRegistry().get(value);
+            options.scheme = value;
+        } else if ((allowed & kFlagGroup) &&
+                   takeValue(arg, "--group=", value)) {
+            options.group = value;
+        } else if ((allowed & kFlagThreshold) &&
+                   takeValue(arg, "--threshold=", value)) {
+            options.threshold = parseDouble(value, "--threshold");
+        } else if ((allowed & kFlagSeed) &&
+                   takeValue(arg, "--seed=", value)) {
+            options.seed = parseUint(value, "--seed");
+        } else if ((allowed & kFlagCsv) &&
+                   std::strcmp(arg, "--csv") == 0) {
+            options.csv = true;
+        } else if (reject_unknown) {
+            COOPSIM_FATAL("unknown flag '", arg, "' (try --help)");
+        }
+    }
+    return options;
+}
+
+unsigned
+applyCliThreads(const CliOptions &options)
+{
+    if (options.threads > 0) {
+        // Before the first instance() this sizes the pool directly —
+        // no default-sized pool is spawned only to be torn down.
+        sim::RunExecutor::requestInitialThreads(options.threads);
+    }
+    sim::RunExecutor &executor = sim::RunExecutor::instance();
+    if (options.threads > 0) {
+        executor.setThreads(options.threads); // no-op if already sized
+    }
+    return executor.threads();
+}
+
+void
+printPreamble(const CliOptions &options, unsigned threads)
+{
+    if (options.scale == sim::RunScale::Paper) {
+        std::printf("# scale: paper (1B insts/app, 5M-cycle epochs)\n");
+    } else if (options.scale == sim::RunScale::Test) {
+        std::printf("# scale: test (tiny; use --full for paper "
+                    "scale)\n");
+    } else {
+        std::printf("# scale: bench miniature (use --full for paper "
+                    "scale)\n");
+    }
+    std::printf("# threads: %u (--threads=N / COOPSIM_THREADS)\n",
+                threads);
+}
+
+CliOptions
+benchSetup(int argc, char **argv, unsigned allowed)
+{
+    const CliOptions options = parseCli(
+        argc, argv, allowed,
+        "usage: bench [--scale=test|bench|paper] [--full] "
+        "[--threads=N]\n");
+    printPreamble(options, applyCliThreads(options));
+    return options;
+}
+
+} // namespace coopsim::api

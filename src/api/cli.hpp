@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The one command-line parser every coopsim binary shares.
+ *
+ * Each binary states which flags it accepts (a bitmask); the parser
+ * validates values and rejects any `--` argument it does not know or
+ * the binary did not opt into — a typo like `--thread=4` is a fatal
+ * error, not a silently ignored no-op. This replaces the hand-rolled
+ * per-flag scanners that used to live in sim/runner.cpp and
+ * examples/coopsim_cli.cpp (scaleFromArgs/threadsFromArgs/takeValue).
+ */
+
+#ifndef COOPSIM_API_CLI_HPP
+#define COOPSIM_API_CLI_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace coopsim::api
+{
+
+/** Flags a binary can opt into (bitmask for parseCli). */
+enum CliFlag : unsigned
+{
+    kFlagScale = 1u << 0,      //!< --scale=test|bench|paper, --full
+    kFlagThreads = 1u << 1,    //!< --threads=N
+    kFlagSpec = 1u << 2,       //!< --spec=FILE
+    kFlagScheme = 1u << 3,     //!< --scheme=NAME
+    kFlagGroup = 1u << 4,      //!< --group=G2-3
+    kFlagThreshold = 1u << 5,  //!< --threshold=T
+    kFlagSeed = 1u << 6,       //!< --seed=N
+    kFlagCsv = 1u << 7,        //!< --csv
+    kFlagPositional = 1u << 8, //!< bare (non --) arguments
+};
+
+/** The fig/table benches: scale + threads only. */
+inline constexpr unsigned kBenchFlags = kFlagScale | kFlagThreads;
+/** Examples taking a positional group name. */
+inline constexpr unsigned kExampleFlags =
+    kBenchFlags | kFlagPositional;
+/** Everything (coopsim_cli); derived from the last enumerator so a
+ *  new flag is included automatically. */
+inline constexpr unsigned kAllFlags = (kFlagPositional << 1) - 1;
+
+/** Parsed command line. */
+struct CliOptions
+{
+    sim::RunScale scale = sim::RunScale::Bench;
+    /** Scale-registry name of @ref scale (spec-file plumbing). */
+    std::string scale_name = "bench";
+    /** True when --scale/--full appeared (so `--spec` runs know
+     *  whether to override the spec file's own scale). */
+    bool scale_set = false;
+    /** Requested worker count; 0 = default resolution. */
+    unsigned threads = 0;
+    std::string spec_path;
+    std::string scheme = "coop";
+    std::string group = "G2-3";
+    std::optional<double> threshold;
+    std::optional<std::uint64_t> seed;
+    bool csv = false;
+    std::vector<std::string> positional;
+};
+
+/**
+ * Parses @p argv against the @p allowed flag mask.
+ *
+ * `--help` prints @p usage and exits 0. Any other `--` argument that
+ * is not an allowed flag — unknown, misspelled, or simply not opted
+ * into by this binary — is fatal; so is a malformed value of an
+ * allowed flag. When @p reject_unknown is false the parser instead
+ * skips arguments it does not own (the compatibility mode behind the
+ * deprecated sim::scaleFromArgs/threadsFromArgs shims).
+ */
+CliOptions parseCli(int argc, char **argv, unsigned allowed,
+                    const char *usage, bool reject_unknown = true);
+
+/**
+ * Applies the parsed thread request to the process-wide executor and
+ * returns its final worker count.
+ */
+unsigned applyCliThreads(const CliOptions &options);
+
+/** Prints the standard "# scale: ..." / "# threads: ..." preamble the
+ *  benches emit before their tables. */
+void printPreamble(const CliOptions &options, unsigned threads);
+
+/** parseCli + applyCliThreads + printPreamble: the three lines every
+ *  bench main() opens with. */
+CliOptions benchSetup(int argc, char **argv,
+                      unsigned allowed = kBenchFlags);
+
+} // namespace coopsim::api
+
+#endif // COOPSIM_API_CLI_HPP

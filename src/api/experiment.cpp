@@ -1,0 +1,284 @@
+#include "api/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "sim/metrics.hpp"
+
+namespace coopsim::api
+{
+
+namespace
+{
+
+/** First value of an axis, or fatal when the axis is empty and a cell
+ *  did not override it. */
+template <typename T>
+const T &
+firstOf(const std::vector<T> &axis, const char *what)
+{
+    if (axis.empty()) {
+        COOPSIM_FATAL("cell does not specify a ", what,
+                      " and the spec's ", what, " axis is empty");
+    }
+    return axis.front();
+}
+
+} // namespace
+
+Registry<MetricFn> &
+metricRegistry()
+{
+    static Registry<MetricFn> registry = [] {
+        Registry<MetricFn> r("metric");
+        r.add("speedup",
+              [](const ExperimentResults &results, const Cell &cell) {
+                  return results.weightedSpeedup(cell);
+              });
+        r.add("dynamic_energy",
+              [](const ExperimentResults &results, const Cell &cell) {
+                  return results.result(cell).dynamic_energy_nj;
+              });
+        r.add("static_energy",
+              [](const ExperimentResults &results, const Cell &cell) {
+                  return results.result(cell).static_energy_nj;
+              });
+        return r;
+    }();
+    return registry;
+}
+
+void
+registerMetric(const std::string &name, MetricFn fn)
+{
+    metricRegistry().add(name, std::move(fn));
+}
+
+ExperimentResults::ExperimentResults(ExperimentSpec spec)
+    : spec_(std::move(spec))
+{
+    validateSpec(spec_);
+    if (spec_.layout != "none") {
+        metricRegistry().get(spec_.metric);
+    }
+    groups_ = resolveSpecGroups(spec_);
+    keys_ = expandSpec(spec_);
+    sim::RunExecutor::instance().prefetch(keys_);
+}
+
+sim::RunKey
+ExperimentResults::keyFor(const Cell &cell) const
+{
+    sim::RunKey key;
+    key.kind = sim::RunKey::Kind::Group;
+    key.scheme = !cell.scheme.empty()
+                     ? cell.scheme
+                     : firstOf(spec_.schemes, "scheme");
+    key.name = cell.group;
+    key.num_cores = static_cast<std::uint32_t>(
+        workloadRegistry().get(cell.group).apps.size());
+    key.scale = scaleRegistry().get(spec_.scale);
+    key.threshold = cell.threshold.value_or(
+        firstOf(spec_.thresholds, "threshold"));
+    key.threshold_mode = thresholdModeRegistry().get(
+        !cell.threshold_mode.empty()
+            ? cell.threshold_mode
+            : firstOf(spec_.threshold_modes, "threshold mode"));
+    key.repl = replPolicyRegistry().get(
+        !cell.repl.empty() ? cell.repl
+                           : firstOf(spec_.repl, "replacement policy"));
+    key.gating = gatingModeRegistry().get(
+        !cell.gating.empty() ? cell.gating
+                             : firstOf(spec_.gating, "gating mode"));
+    key.seed = cell.seed.value_or(firstOf(spec_.seeds, "seed"));
+    return key;
+}
+
+const sim::RunResult &
+ExperimentResults::result(const Cell &cell) const
+{
+    return result(keyFor(cell));
+}
+
+const sim::RunResult &
+ExperimentResults::result(const sim::RunKey &key) const
+{
+    return sim::RunExecutor::instance().run(key);
+}
+
+const sim::RunResult &
+ExperimentResults::soloResult(const std::string &app,
+                              std::uint32_t cores,
+                              const Cell &cell) const
+{
+    sim::RunKey key;
+    key.kind = sim::RunKey::Kind::Solo;
+    key.scheme = "unmanaged";
+    key.name = app;
+    key.num_cores = cores;
+    key.scale = scaleRegistry().get(spec_.scale);
+    key.threshold = 0.0;
+    key.threshold_mode = partition::ThresholdMode::MissRatio;
+    key.repl = replPolicyRegistry().get(
+        !cell.repl.empty() ? cell.repl
+                           : firstOf(spec_.repl, "replacement policy"));
+    key.gating = llc::GatingMode::GatedVdd;
+    key.seed = cell.seed.value_or(firstOf(spec_.seeds, "seed"));
+    return result(key);
+}
+
+double
+ExperimentResults::soloIpc(const std::string &app, std::uint32_t cores,
+                           const Cell &cell) const
+{
+    return soloResult(app, cores, cell).apps.at(0).ipc;
+}
+
+double
+ExperimentResults::weightedSpeedup(const Cell &cell) const
+{
+    const trace::WorkloadGroup &group =
+        workloadRegistry().get(cell.group);
+    const auto cores = static_cast<std::uint32_t>(group.apps.size());
+    const sim::RunResult &shared = result(cell);
+    std::vector<double> alone;
+    alone.reserve(group.apps.size());
+    for (const std::string &app : group.apps) {
+        alone.push_back(soloIpc(app, cores, cell));
+    }
+    return sim::weightedSpeedup(shared, alone);
+}
+
+double
+ExperimentResults::metric(const std::string &name,
+                          const Cell &cell) const
+{
+    return metricRegistry().get(name)(*this, cell);
+}
+
+ExperimentResults
+runExperiment(const ExperimentSpec &spec)
+{
+    return ExperimentResults(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering
+
+namespace
+{
+
+void
+printSchemeTable(const ExperimentResults &results,
+                 const MetricFn &metric)
+{
+    const ExperimentSpec &spec = results.spec();
+    std::printf("%s\n", spec.title.c_str());
+    std::printf("# normalised to %s; %s is better\n",
+                schemeLabel(spec.baseline).c_str(),
+                spec.higher_better ? "higher" : "lower");
+    std::printf("%-8s", "group");
+    for (const std::string &scheme : spec.schemes) {
+        std::printf(" %12s", schemeLabel(scheme).c_str());
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<double>> norms(spec.schemes.size());
+    for (const trace::WorkloadGroup &group : results.groups()) {
+        Cell baseline_cell;
+        baseline_cell.group = group.name;
+        baseline_cell.scheme = spec.baseline;
+        const double baseline = metric(results, baseline_cell);
+        std::printf("%-8s", group.name.c_str());
+        for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
+            Cell cell;
+            cell.group = group.name;
+            cell.scheme = spec.schemes[i];
+            const double norm =
+                sim::normalizeTo(metric(results, cell), baseline);
+            norms[i].push_back(norm);
+            std::printf(" %12.3f", norm);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-8s", "AVG");
+    for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
+        std::printf(" %12.3f", stats::geomean(norms[i]));
+    }
+    std::printf("\n");
+}
+
+void
+printThresholdTable(const ExperimentResults &results,
+                    const MetricFn &metric)
+{
+    const ExperimentSpec &spec = results.spec();
+    const double baseline_t = std::strtod(spec.baseline.c_str(), nullptr);
+
+    std::printf("%s\n", spec.title.c_str());
+    std::printf("# %s, normalised to T = %s\n",
+                schemeLabel(spec.schemes.empty() ? "coop"
+                                                 : spec.schemes.front())
+                    .c_str(),
+                spec.baseline.c_str());
+    std::printf("%-8s", "group");
+    for (const double t : spec.thresholds) {
+        std::printf("       T=%4.2f", t);
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<double>> norms(spec.thresholds.size());
+    for (const trace::WorkloadGroup &group : results.groups()) {
+        Cell baseline_cell;
+        baseline_cell.group = group.name;
+        baseline_cell.threshold = baseline_t;
+        const double baseline = metric(results, baseline_cell);
+        std::printf("%-8s", group.name.c_str());
+        for (std::size_t i = 0; i < spec.thresholds.size(); ++i) {
+            Cell cell;
+            cell.group = group.name;
+            cell.threshold = spec.thresholds[i];
+            const double norm =
+                sim::normalizeTo(metric(results, cell), baseline);
+            norms[i].push_back(norm);
+            std::printf(" %12.3f", norm);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-8s", "AVG");
+    for (std::size_t i = 0; i < spec.thresholds.size(); ++i) {
+        std::printf(" %12.3f", stats::geomean(norms[i]));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+void
+printTable(const ExperimentResults &results, const MetricFn &metric)
+{
+    const ExperimentSpec &spec = results.spec();
+    const MetricFn &fn =
+        metric ? metric : metricRegistry().get(spec.metric);
+    if (spec.layout == "schemes") {
+        printSchemeTable(results, fn);
+    } else if (spec.layout == "thresholds") {
+        printThresholdTable(results, fn);
+    } else {
+        COOPSIM_FATAL("spec '", spec.name, "' has layout '",
+                      spec.layout,
+                      "', which has no built-in table renderer");
+    }
+}
+
+void
+printExperiment(const ExperimentSpec &spec)
+{
+    const ExperimentResults results = runExperiment(spec);
+    printTable(results, {});
+}
+
+} // namespace coopsim::api

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ExperimentResults: the view over a completed (or in-flight)
+ * ExperimentSpec, plus the figure-style table renderers.
+ *
+ * Constructing an ExperimentResults expands the spec into its RunKey
+ * cross-product and enqueues every run on the process-wide
+ * sim::RunExecutor, so all host cores work the sweep while the caller
+ * formats whatever cells are ready. Cells are addressed by a Cell
+ * override set on top of the spec's first axis values, so the common
+ * case — "the result of scheme S on group G" — is one line.
+ *
+ * printTable()/printExperiment() subsume the old bench_common
+ * printers: rows = workload groups (+ geometric-mean AVG row),
+ * columns = the spec's varying axis, every cell normalised to the
+ * spec's baseline column. `coopsim_cli --spec <file>` is exactly
+ * printExperiment(parseSpecFile(file)).
+ */
+
+#ifndef COOPSIM_API_EXPERIMENT_HPP
+#define COOPSIM_API_EXPERIMENT_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/spec.hpp"
+
+namespace coopsim::api
+{
+
+class ExperimentResults;
+
+/**
+ * Addresses one cell of an experiment: any field left at its default
+ * is taken from the spec (the first value of the corresponding axis).
+ */
+struct Cell
+{
+    std::string group;
+    std::string scheme;
+    std::optional<double> threshold;
+    std::string threshold_mode;
+    std::string repl;
+    std::string gating;
+    std::optional<std::uint64_t> seed;
+};
+
+/** A named per-cell metric ("speedup", "dynamic_energy", ...). */
+using MetricFn =
+    std::function<double(const ExperimentResults &, const Cell &)>;
+
+/** The metric table; "speedup", "dynamic_energy" and "static_energy"
+ *  are pre-registered. */
+Registry<MetricFn> &metricRegistry();
+
+/** Registers a custom metric constructible by name in spec files. */
+void registerMetric(const std::string &name, MetricFn fn);
+
+/**
+ * The results view of one ExperimentSpec.
+ */
+class ExperimentResults
+{
+  public:
+    /** Validates @p spec, expands it and prefetches every run. */
+    explicit ExperimentResults(ExperimentSpec spec);
+
+    const ExperimentSpec &spec() const { return spec_; }
+    /** The resolved workload groups, in table-row order. */
+    const std::vector<trace::WorkloadGroup> &groups() const
+    {
+        return groups_;
+    }
+    /** The expanded RunKeys, in prefetch order. */
+    const std::vector<sim::RunKey> &keys() const { return keys_; }
+
+    /** The RunKey @p cell resolves to under this spec. */
+    sim::RunKey keyFor(const Cell &cell) const;
+
+    /** The (memoised) result of @p cell; blocks until ready. */
+    const sim::RunResult &result(const Cell &cell) const;
+    const sim::RunResult &result(const sim::RunKey &key) const;
+
+    /** The solo-baseline run of @p app on the @p cores-core system
+     *  (repl/seed/scale taken from @p cell / the spec). */
+    const sim::RunResult &soloResult(const std::string &app,
+                                     std::uint32_t cores,
+                                     const Cell &cell = {}) const;
+    double soloIpc(const std::string &app, std::uint32_t cores,
+                   const Cell &cell = {}) const;
+
+    /** Weighted speedup (Equation 1) of @p cell. */
+    double weightedSpeedup(const Cell &cell) const;
+
+    /** Evaluates the metric registered as @p name on @p cell. */
+    double metric(const std::string &name, const Cell &cell) const;
+
+  private:
+    ExperimentSpec spec_;
+    std::vector<trace::WorkloadGroup> groups_;
+    std::vector<sim::RunKey> keys_;
+};
+
+/** Expands, prefetches and returns the results view of @p spec. */
+ExperimentResults runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Renders the spec's table: layout "schemes" prints one column per
+ * scheme normalised to the baseline scheme; layout "thresholds" one
+ * column per threshold normalised to the baseline threshold. Both end
+ * with a geometric-mean AVG row. @p metric overrides the spec's named
+ * metric (custom benches); the default resolves spec.metric through
+ * the metric registry.
+ */
+void printTable(const ExperimentResults &results,
+                const MetricFn &metric = {});
+
+/** runExperiment + printTable: the `coopsim_cli --spec` entry point. */
+void printExperiment(const ExperimentSpec &spec);
+
+} // namespace coopsim::api
+
+#endif // COOPSIM_API_EXPERIMENT_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Strict numeric parsing/formatting shared by the spec encoding
+ * (api/spec.cpp) and the command-line parser (api/cli.cpp): one
+ * implementation so the two surfaces cannot drift.
+ */
+
+#ifndef COOPSIM_API_PARSE_UTIL_HPP
+#define COOPSIM_API_PARSE_UTIL_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace coopsim::api::detail
+{
+
+/** Whole-string strtod; fatal (naming @p what) on trailing garbage. */
+inline double
+parseDouble(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+        COOPSIM_FATAL("invalid ", what, " value '", text, "'");
+    }
+    return value;
+}
+
+/** Whole-string strtoull; fatal (naming @p what) on garbage. */
+inline std::uint64_t
+parseUint(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+        COOPSIM_FATAL("invalid ", what, " value '", text, "'");
+    }
+    return value;
+}
+
+/** Shortest decimal encoding that parses back to exactly @p value. */
+inline std::string
+fmtDouble(double value)
+{
+    char buf[64];
+    for (const int precision : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value) {
+            break;
+        }
+    }
+    return buf;
+}
+
+} // namespace coopsim::api::detail
+
+#endif // COOPSIM_API_PARSE_UTIL_HPP

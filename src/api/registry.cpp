@@ -1,0 +1,232 @@
+#include "api/registry.hpp"
+
+#include "llc/schemes.hpp"
+#include "sim/system.hpp"
+
+namespace coopsim::api
+{
+
+namespace
+{
+
+/** Built-in scheme table: registry key, legend label, enum. */
+struct BuiltinScheme
+{
+    const char *key;
+    const char *label;
+    llc::Scheme scheme;
+};
+
+constexpr BuiltinScheme kBuiltinSchemes[] = {
+    {"unmanaged", "Unmanaged", llc::Scheme::Unmanaged},
+    {"fairshare", "FairShare", llc::Scheme::FairShare},
+    {"ucp", "UCP", llc::Scheme::Ucp},
+    {"cpe", "DynamicCPE", llc::Scheme::DynamicCpe},
+    {"coop", "Cooperative", llc::Scheme::Cooperative},
+};
+
+/** Trailing-* glob: "G2-*" matches "G2-7"; anything else is exact. */
+bool
+matchesPattern(const std::string &name, const std::string &pattern)
+{
+    if (!pattern.empty() && pattern.back() == '*') {
+        return name.compare(0, pattern.size() - 1, pattern, 0,
+                            pattern.size() - 1) == 0;
+    }
+    return name == pattern;
+}
+
+} // namespace
+
+Registry<SchemeEntry> &
+schemeRegistry()
+{
+    static Registry<SchemeEntry> registry = [] {
+        Registry<SchemeEntry> r("scheme");
+        for (const BuiltinScheme &b : kBuiltinSchemes) {
+            const llc::Scheme scheme = b.scheme;
+            r.add(b.key,
+                  SchemeEntry{b.label,
+                              [scheme](const llc::LlcConfig &config,
+                                       mem::DramModel &dram) {
+                                  return llc::makeLlc(scheme, config,
+                                                      dram);
+                              }});
+        }
+        return r;
+    }();
+    return registry;
+}
+
+void
+registerScheme(const std::string &name, const std::string &label,
+               LlcFactory factory)
+{
+    schemeRegistry().add(name, SchemeEntry{label, std::move(factory)});
+}
+
+std::string
+schemeKeyOf(llc::Scheme scheme)
+{
+    for (const BuiltinScheme &b : kBuiltinSchemes) {
+        if (b.scheme == scheme) {
+            return b.key;
+        }
+    }
+    COOPSIM_FATAL("scheme enum value ",
+                  static_cast<int>(scheme), " has no registry name");
+}
+
+const std::string &
+schemeLabel(const std::string &name)
+{
+    return schemeRegistry().get(name).label;
+}
+
+std::unique_ptr<llc::BaseLlc>
+makeLlcByName(const std::string &name, const llc::LlcConfig &config,
+              mem::DramModel &dram)
+{
+    return schemeRegistry().get(name).factory(config, dram);
+}
+
+// ---------------------------------------------------------------------------
+// Small value axes
+
+Registry<cache::ReplPolicy> &
+replPolicyRegistry()
+{
+    static Registry<cache::ReplPolicy> registry = [] {
+        Registry<cache::ReplPolicy> r("replacement policy");
+        r.add("lru", cache::ReplPolicy::Lru);
+        r.add("random", cache::ReplPolicy::Random);
+        r.add("mru", cache::ReplPolicy::Mru);
+        return r;
+    }();
+    return registry;
+}
+
+Registry<llc::GatingMode> &
+gatingModeRegistry()
+{
+    static Registry<llc::GatingMode> registry = [] {
+        Registry<llc::GatingMode> r("gating mode");
+        r.add("gatedvdd", llc::GatingMode::GatedVdd);
+        r.add("drowsy", llc::GatingMode::Drowsy);
+        return r;
+    }();
+    return registry;
+}
+
+Registry<partition::ThresholdMode> &
+thresholdModeRegistry()
+{
+    static Registry<partition::ThresholdMode> registry = [] {
+        Registry<partition::ThresholdMode> r("threshold mode");
+        r.add("missratio", partition::ThresholdMode::MissRatio);
+        r.add("paperliteral", partition::ThresholdMode::PaperLiteral);
+        return r;
+    }();
+    return registry;
+}
+
+Registry<sim::RunScale> &
+scaleRegistry()
+{
+    static Registry<sim::RunScale> registry = [] {
+        Registry<sim::RunScale> r("scale");
+        r.add("test", sim::RunScale::Test);
+        r.add("bench", sim::RunScale::Bench);
+        r.add("paper", sim::RunScale::Paper);
+        return r;
+    }();
+    return registry;
+}
+
+namespace
+{
+
+/** Inverse lookup over a small registry (linear; fatal if absent). */
+template <typename T>
+std::string
+keyOfValue(Registry<T> &registry, T value, const char *kind)
+{
+    for (const std::string &name : registry.names()) {
+        if (*registry.find(name) == value) {
+            return name;
+        }
+    }
+    COOPSIM_FATAL(kind, " enum value ", static_cast<int>(value),
+                  " has no registry name");
+}
+
+} // namespace
+
+std::string
+replPolicyKeyOf(cache::ReplPolicy policy)
+{
+    return keyOfValue(replPolicyRegistry(), policy,
+                      "replacement policy");
+}
+
+std::string
+gatingModeKeyOf(llc::GatingMode mode)
+{
+    return keyOfValue(gatingModeRegistry(), mode, "gating mode");
+}
+
+std::string
+thresholdModeKeyOf(partition::ThresholdMode mode)
+{
+    return keyOfValue(thresholdModeRegistry(), mode, "threshold mode");
+}
+
+std::string
+scaleKeyOf(sim::RunScale scale)
+{
+    return keyOfValue(scaleRegistry(), scale, "scale");
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+
+Registry<trace::WorkloadGroup> &
+workloadRegistry()
+{
+    static Registry<trace::WorkloadGroup> registry = [] {
+        Registry<trace::WorkloadGroup> r("workload group");
+        for (const trace::WorkloadGroup &g : trace::twoCoreGroups()) {
+            r.add(g.name, g);
+        }
+        for (const trace::WorkloadGroup &g : trace::fourCoreGroups()) {
+            r.add(g.name, g);
+        }
+        return r;
+    }();
+    return registry;
+}
+
+void
+registerWorkload(const trace::WorkloadGroup &group)
+{
+    workloadRegistry().add(group.name, group);
+}
+
+std::vector<trace::WorkloadGroup>
+resolveWorkloads(const std::string &pattern)
+{
+    Registry<trace::WorkloadGroup> &registry = workloadRegistry();
+    std::vector<trace::WorkloadGroup> groups;
+    for (const std::string &name : registry.names()) {
+        if (matchesPattern(name, pattern)) {
+            groups.push_back(*registry.find(name));
+        }
+    }
+    if (groups.empty()) {
+        // Exact-name misses get the full unknown-name diagnostic.
+        groups.push_back(registry.get(pattern));
+    }
+    return groups;
+}
+
+} // namespace coopsim::api

@@ -1,0 +1,426 @@
+#include "api/spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "api/parse_util.hpp"
+#include "api/registry.hpp"
+#include "common/logging.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace coopsim::api
+{
+
+using detail::fmtDouble;
+using detail::parseDouble;
+using detail::parseUint;
+
+namespace
+{
+
+constexpr const char *kSpecMagic = "coopsim-spec v1";
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream stream(text);
+    std::string word;
+    while (stream >> word) {
+        words.push_back(word);
+    }
+    return words;
+}
+
+std::string
+joinWords(const std::vector<std::string> &words)
+{
+    std::string out;
+    for (const std::string &word : words) {
+        out += out.empty() ? "" : " ";
+        out += word;
+    }
+    return out;
+}
+
+bool
+parseBool(const std::string &text, const char *what)
+{
+    if (text == "on") {
+        return true;
+    }
+    if (text == "off") {
+        return false;
+    }
+    COOPSIM_FATAL("invalid ", what, " value '", text,
+                  "' (expected on or off)");
+}
+
+/** The apps named by the solos axis ("*" expands to all of Table 3). */
+std::vector<std::string>
+resolveSolos(const ExperimentSpec &spec)
+{
+    std::vector<std::string> apps;
+    for (const std::string &name : spec.solos) {
+        if (name == "*") {
+            for (const std::string &app : trace::allSpecApps()) {
+                apps.push_back(app);
+            }
+        } else {
+            apps.push_back(name);
+        }
+    }
+    return apps;
+}
+
+} // namespace
+
+void
+validateSpec(const ExperimentSpec &spec)
+{
+    if (spec.layout != "schemes" && spec.layout != "thresholds" &&
+        spec.layout != "none") {
+        COOPSIM_FATAL("unknown layout '", spec.layout,
+                      "' (expected schemes, thresholds or none)");
+    }
+    for (const std::string &scheme : spec.schemes) {
+        schemeRegistry().get(scheme);
+    }
+    for (const std::string &pattern : spec.groups) {
+        resolveWorkloads(pattern);
+    }
+    for (const std::string &mode : spec.threshold_modes) {
+        thresholdModeRegistry().get(mode);
+    }
+    for (const std::string &policy : spec.repl) {
+        replPolicyRegistry().get(policy);
+    }
+    for (const std::string &mode : spec.gating) {
+        gatingModeRegistry().get(mode);
+    }
+    scaleRegistry().get(spec.scale);
+    for (const std::string &app : resolveSolos(spec)) {
+        trace::specProfile(app); // fatal on an unknown benchmark
+    }
+    if (spec.layout == "schemes" && !spec.schemes.empty()) {
+        bool found = false;
+        for (const std::string &scheme : spec.schemes) {
+            found = found || scheme == spec.baseline;
+        }
+        if (!found) {
+            COOPSIM_FATAL("baseline scheme '", spec.baseline,
+                          "' is not in the spec's schemes axis");
+        }
+    }
+    if (spec.layout == "thresholds") {
+        const double baseline =
+            parseDouble(spec.baseline, "baseline threshold");
+        bool found = false;
+        for (const double t : spec.thresholds) {
+            found = found || t == baseline;
+        }
+        if (!found) {
+            COOPSIM_FATAL("baseline threshold ", spec.baseline,
+                          " is not in the spec's thresholds axis");
+        }
+    }
+}
+
+std::vector<trace::WorkloadGroup>
+resolveSpecGroups(const ExperimentSpec &spec)
+{
+    std::vector<trace::WorkloadGroup> groups;
+    for (const std::string &pattern : spec.groups) {
+        for (trace::WorkloadGroup &group : resolveWorkloads(pattern)) {
+            groups.push_back(std::move(group));
+        }
+    }
+    return groups;
+}
+
+std::vector<sim::RunKey>
+expandSpec(const ExperimentSpec &spec)
+{
+    validateSpec(spec);
+    const sim::RunScale scale = scaleRegistry().get(spec.scale);
+
+    std::vector<sim::RunKey> keys;
+    const std::vector<trace::WorkloadGroup> groups =
+        resolveSpecGroups(spec);
+
+    // Group runs: the full cross-product, groups outermost so all
+    // cells of one table row are adjacent in the queue.
+    for (const trace::WorkloadGroup &group : groups) {
+        const auto cores =
+            static_cast<std::uint32_t>(group.apps.size());
+        for (const std::string &scheme : spec.schemes) {
+            for (const double threshold : spec.thresholds) {
+                for (const std::string &tmode : spec.threshold_modes) {
+                    for (const std::string &policy : spec.repl) {
+                        for (const std::string &gating : spec.gating) {
+                            for (const std::uint64_t seed : spec.seeds) {
+                                sim::RunKey key;
+                                key.kind = sim::RunKey::Kind::Group;
+                                key.scheme = scheme;
+                                key.name = group.name;
+                                key.num_cores = cores;
+                                key.scale = scale;
+                                key.threshold = threshold;
+                                key.threshold_mode =
+                                    thresholdModeRegistry().get(tmode);
+                                key.repl =
+                                    replPolicyRegistry().get(policy);
+                                key.gating =
+                                    gatingModeRegistry().get(gating);
+                                key.seed = seed;
+                                keys.push_back(std::move(key));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Solo baselines: scheme-only fields are normalised (see
+    // sim::soloKey), so the solo axes are (app x cores x repl x seed).
+    // Shared apps across groups are deduplicated.
+    std::unordered_set<sim::RunKey, sim::RunKeyHash> seen;
+    auto add_solo = [&](const std::string &app, std::uint32_t cores) {
+        for (const std::string &policy : spec.repl) {
+            for (const std::uint64_t seed : spec.seeds) {
+                sim::RunKey key;
+                key.kind = sim::RunKey::Kind::Solo;
+                key.scheme = "unmanaged";
+                key.name = app;
+                key.num_cores = cores;
+                key.scale = scale;
+                key.threshold = 0.0;
+                key.threshold_mode =
+                    partition::ThresholdMode::MissRatio;
+                key.repl = replPolicyRegistry().get(policy);
+                key.gating = llc::GatingMode::GatedVdd;
+                key.seed = seed;
+                if (seen.insert(key).second) {
+                    keys.push_back(std::move(key));
+                }
+            }
+        }
+    };
+    if (spec.with_solo) {
+        for (const trace::WorkloadGroup &group : groups) {
+            const auto cores =
+                static_cast<std::uint32_t>(group.apps.size());
+            for (const std::string &app : group.apps) {
+                add_solo(app, cores);
+            }
+        }
+    }
+    for (const std::string &app : resolveSolos(spec)) {
+        add_solo(app, spec.solo_cores);
+    }
+    return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical text encoding
+
+std::string
+formatSpec(const ExperimentSpec &spec)
+{
+    std::string out = kSpecMagic;
+    out += "\n";
+    auto line = [&out](const char *key, const std::string &value) {
+        out += key;
+        if (!value.empty()) {
+            out += " ";
+            out += value;
+        }
+        out += "\n";
+    };
+    line("name", spec.name);
+    line("title", spec.title);
+    line("layout", spec.layout);
+    line("metric", spec.metric);
+    line("baseline", spec.baseline);
+    line("higher_better", spec.higher_better ? "on" : "off");
+    line("with_solo", spec.with_solo ? "on" : "off");
+    line("schemes", joinWords(spec.schemes));
+    line("groups", joinWords(spec.groups));
+    {
+        std::vector<std::string> words;
+        for (const double t : spec.thresholds) {
+            words.push_back(fmtDouble(t));
+        }
+        line("thresholds", joinWords(words));
+    }
+    line("threshold_modes", joinWords(spec.threshold_modes));
+    line("repl", joinWords(spec.repl));
+    line("gating", joinWords(spec.gating));
+    {
+        std::vector<std::string> words;
+        for (const std::uint64_t seed : spec.seeds) {
+            words.push_back(std::to_string(seed));
+        }
+        line("seeds", joinWords(words));
+    }
+    line("scale", spec.scale);
+    line("solos", joinWords(spec.solos));
+    line("solo_cores", std::to_string(spec.solo_cores));
+    return out;
+}
+
+ExperimentSpec
+parseSpec(const std::string &text)
+{
+    std::istringstream stream(text);
+    std::string line;
+    if (!std::getline(stream, line) || line != kSpecMagic) {
+        COOPSIM_FATAL("not a coopsim spec (expected first line '",
+                      kSpecMagic, "', got '", line, "')");
+    }
+
+    ExperimentSpec spec;
+    // The defaulted axes are replaced, not appended to, when the key
+    // appears.
+    while (std::getline(stream, line)) {
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        const std::size_t space = line.find(' ');
+        const std::string key = line.substr(0, space);
+        const std::string value =
+            space == std::string::npos ? "" : line.substr(space + 1);
+
+        if (key == "name") {
+            spec.name = value;
+        } else if (key == "title") {
+            spec.title = value;
+        } else if (key == "layout") {
+            spec.layout = value;
+        } else if (key == "metric") {
+            spec.metric = value;
+        } else if (key == "baseline") {
+            spec.baseline = value;
+        } else if (key == "higher_better") {
+            spec.higher_better = parseBool(value, "higher_better");
+        } else if (key == "with_solo") {
+            spec.with_solo = parseBool(value, "with_solo");
+        } else if (key == "schemes") {
+            spec.schemes = splitWords(value);
+        } else if (key == "groups") {
+            spec.groups = splitWords(value);
+        } else if (key == "thresholds") {
+            spec.thresholds.clear();
+            for (const std::string &word : splitWords(value)) {
+                spec.thresholds.push_back(
+                    parseDouble(word, "threshold"));
+            }
+        } else if (key == "threshold_modes") {
+            spec.threshold_modes = splitWords(value);
+        } else if (key == "repl") {
+            spec.repl = splitWords(value);
+        } else if (key == "gating") {
+            spec.gating = splitWords(value);
+        } else if (key == "seeds") {
+            spec.seeds.clear();
+            for (const std::string &word : splitWords(value)) {
+                spec.seeds.push_back(parseUint(word, "seed"));
+            }
+        } else if (key == "scale") {
+            spec.scale = value;
+        } else if (key == "solos") {
+            spec.solos = splitWords(value);
+        } else if (key == "solo_cores") {
+            spec.solo_cores = static_cast<std::uint32_t>(
+                parseUint(value, "solo_cores"));
+        } else {
+            COOPSIM_FATAL("unknown spec key '", key, "'");
+        }
+    }
+    return spec;
+}
+
+ExperimentSpec
+parseSpecFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        COOPSIM_FATAL("cannot open spec file '", path, "'");
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    return parseSpec(text.str());
+}
+
+std::string
+formatRunKey(const sim::RunKey &key)
+{
+    std::string out =
+        key.kind == sim::RunKey::Kind::Group ? "group" : "solo";
+    auto field = [&out](const char *name, const std::string &value) {
+        out += " ";
+        out += name;
+        out += "=";
+        out += value;
+    };
+    field("scheme", key.scheme);
+    field("name", key.name);
+    field("cores", std::to_string(key.num_cores));
+    field("scale", scaleKeyOf(key.scale));
+    field("threshold", fmtDouble(key.threshold));
+    field("tmode", thresholdModeKeyOf(key.threshold_mode));
+    field("repl", replPolicyKeyOf(key.repl));
+    field("gating", gatingModeKeyOf(key.gating));
+    field("seed", std::to_string(key.seed));
+    return out;
+}
+
+sim::RunKey
+parseRunKey(const std::string &line)
+{
+    const std::vector<std::string> words = splitWords(line);
+    if (words.empty() ||
+        (words[0] != "group" && words[0] != "solo")) {
+        COOPSIM_FATAL("invalid run key '", line,
+                      "' (expected 'group ...' or 'solo ...')");
+    }
+    sim::RunKey key;
+    key.kind = words[0] == "group" ? sim::RunKey::Kind::Group
+                                   : sim::RunKey::Kind::Solo;
+    for (std::size_t i = 1; i < words.size(); ++i) {
+        const std::size_t eq = words[i].find('=');
+        if (eq == std::string::npos) {
+            COOPSIM_FATAL("invalid run key field '", words[i], "'");
+        }
+        const std::string name = words[i].substr(0, eq);
+        const std::string value = words[i].substr(eq + 1);
+        if (name == "scheme") {
+            schemeRegistry().get(value);
+            key.scheme = value;
+        } else if (name == "name") {
+            key.name = value;
+        } else if (name == "cores") {
+            key.num_cores =
+                static_cast<std::uint32_t>(parseUint(value, "cores"));
+        } else if (name == "scale") {
+            key.scale = scaleRegistry().get(value);
+        } else if (name == "threshold") {
+            key.threshold = parseDouble(value, "threshold");
+        } else if (name == "tmode") {
+            key.threshold_mode = thresholdModeRegistry().get(value);
+        } else if (name == "repl") {
+            key.repl = replPolicyRegistry().get(value);
+        } else if (name == "gating") {
+            key.gating = gatingModeRegistry().get(value);
+        } else if (name == "seed") {
+            key.seed = parseUint(value, "seed");
+        } else {
+            COOPSIM_FATAL("unknown run key field '", name, "'");
+        }
+    }
+    return key;
+}
+
+} // namespace coopsim::api

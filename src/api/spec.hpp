@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ExperimentSpec: a declarative description of a full experiment.
+ *
+ * Every figure and table of the paper is a sweep over some subset of
+ * the axes (scheme x workload group x threshold x threshold mode x
+ * replacement policy x gating mode x seed) at one scale, rendered as a
+ * normalised table. An ExperimentSpec names those axes by their
+ * registry keys (api/registry.hpp); expandSpec() turns the spec into
+ * the cross-product of RunKeys the executor prefetches.
+ *
+ * Specs and RunKeys both have a stable canonical text encoding with an
+ * exact parse/format round-trip (parseSpec(formatSpec(s)) == s):
+ *
+ *  - `coopsim_cli --spec <file>` runs any figure from a spec file;
+ *  - the RunKey line format is the merge key for the planned
+ *    disk-backed result store (ROADMAP "Sharded sweeps").
+ *
+ * Doubles are encoded with %.17g, which round-trips every IEEE-754
+ * binary64 value exactly.
+ */
+
+#ifndef COOPSIM_API_SPEC_HPP
+#define COOPSIM_API_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "trace/workloads.hpp"
+
+namespace coopsim::api
+{
+
+/**
+ * One experiment: the sweep axes plus how to present the result
+ * table. All names are registry keys; groups may use a trailing-*
+ * glob ("G2-*" = all fourteen two-core groups).
+ */
+struct ExperimentSpec
+{
+    /** Identifier ("fig05"); used in filenames and logs. */
+    std::string name;
+    /** Table heading ("Figure 5: weighted speedup, ..."). */
+    std::string title;
+
+    /**
+     * Table layout: "schemes" (rows = groups, columns = schemes,
+     * normalised to the baseline scheme — Figures 5-10) or
+     * "thresholds" (rows = groups, columns = threshold values,
+     * normalised to the baseline threshold — Figures 11-13). Specs
+     * driving custom printers use "none".
+     */
+    std::string layout = "schemes";
+    /** Cell metric: a metric-registry name ("speedup",
+     *  "dynamic_energy", "static_energy"). */
+    std::string metric = "speedup";
+    /** Normalisation column: a scheme name under the "schemes"
+     *  layout, a threshold value text under "thresholds". */
+    std::string baseline = "fairshare";
+    /** Direction annotation in the table header. */
+    bool higher_better = true;
+    /** Prefetch each group's per-app solo baselines (needed by the
+     *  weighted-speedup metric only). */
+    bool with_solo = true;
+
+    // --- sweep axes (cross-product) ------------------------------------
+    std::vector<std::string> schemes = {"coop"};
+    /** Group names or globs, expanded via the workload registry. */
+    std::vector<std::string> groups;
+    std::vector<double> thresholds = {0.05};
+    std::vector<std::string> threshold_modes = {"missratio"};
+    std::vector<std::string> repl = {"lru"};
+    std::vector<std::string> gating = {"gatedvdd"};
+    std::vector<std::uint64_t> seeds = {42};
+    /** Scale-registry name: "test", "bench" or "paper". */
+    std::string scale = "bench";
+    /** Extra standalone solo runs (Table 3): app names or "*" for
+     *  every Table 3 benchmark, run on @ref solo_cores geometry. */
+    std::vector<std::string> solos;
+    std::uint32_t solo_cores = 2;
+
+    bool operator==(const ExperimentSpec &) const = default;
+};
+
+/** Validates every name in @p spec against its registry (fatal with
+ *  the offending name otherwise). */
+void validateSpec(const ExperimentSpec &spec);
+
+/** The workload groups the spec's group names/globs resolve to. */
+std::vector<trace::WorkloadGroup>
+resolveSpecGroups(const ExperimentSpec &spec);
+
+/**
+ * Expands @p spec into the cross-product of RunKeys: one Group key
+ * per (group x scheme x threshold x threshold_mode x repl x gating x
+ * seed), followed by the deduplicated Solo keys (per-app baselines
+ * when with_solo, plus the explicit solos axis). Deterministic order.
+ */
+std::vector<sim::RunKey> expandSpec(const ExperimentSpec &spec);
+
+/** Canonical multi-line text encoding (every field, fixed order). */
+std::string formatSpec(const ExperimentSpec &spec);
+
+/**
+ * Parses the canonical encoding. Unknown keys and malformed values
+ * are fatal; omitted keys keep their defaults, so hand-written spec
+ * files only state what they change. parseSpec(formatSpec(s)) == s.
+ */
+ExperimentSpec parseSpec(const std::string &text);
+
+/** Reads and parses a spec file (fatal on I/O errors). */
+ExperimentSpec parseSpecFile(const std::string &path);
+
+/** Canonical single-line RunKey encoding (the result-store merge
+ *  key), e.g. "group scheme=coop name=G2-3 cores=2 scale=bench
+ *  threshold=0.05 tmode=missratio repl=lru gating=gatedvdd seed=42". */
+std::string formatRunKey(const sim::RunKey &key);
+
+/** Parses formatRunKey() output; parseRunKey(formatRunKey(k)) == k. */
+sim::RunKey parseRunKey(const std::string &line);
+
+} // namespace coopsim::api
+
+#endif // COOPSIM_API_SPEC_HPP

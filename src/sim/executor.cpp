@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "api/registry.hpp"
 #include "common/logging.hpp"
 #include "trace/workloads.hpp"
 
@@ -45,9 +46,9 @@ unsigned g_initial_threads = 0;
 SystemConfig
 configOf(const RunKey &key)
 {
-    SystemConfig config =
-        key.num_cores <= 2 ? makeTwoCoreConfig(key.scheme, key.scale)
-                           : makeFourCoreConfig(key.scheme, key.scale);
+    SystemConfig config = key.num_cores <= 2
+                              ? makeTwoCoreConfig(key.scheme, key.scale)
+                              : makeFourCoreConfig(key.scheme, key.scale);
     config.llc.threshold = key.threshold;
     config.llc.threshold_mode = key.threshold_mode;
     config.llc.repl = key.repl;
@@ -63,7 +64,10 @@ RunKeyHash::operator()(const RunKey &key) const
 {
     std::uint64_t h = 0x243f6a8885a308d3ull;
     h = mix(h, static_cast<std::uint64_t>(key.kind));
-    h = mix(h, static_cast<std::uint64_t>(key.scheme));
+    h = mix(h, key.scheme.size());
+    for (const char c : key.scheme) {
+        h = mix(h, static_cast<std::uint64_t>(c));
+    }
     for (const char c : key.name) {
         h = mix(h, static_cast<std::uint64_t>(c));
     }
@@ -123,14 +127,22 @@ RunExecutor::~RunExecutor()
 RunExecutor &
 RunExecutor::instance()
 {
-    // Construct the trace tables (function-local statics executeRun
-    // reads) before the pool: statics are destroyed in reverse
-    // construction order, so the executor's destructor — which joins
-    // workers that may still be inside a run at process exit — must
-    // come first, while those tables are still alive.
+    // Construct the trace tables and api registries (function-local
+    // statics executeRun reads — System's constructor resolves the
+    // scheme name through api::schemeRegistry()) before the pool:
+    // statics are destroyed in reverse construction order, so the
+    // executor's destructor — which joins workers that may still be
+    // inside a run at process exit — must come first, while those
+    // tables are still alive.
     trace::twoCoreGroups();
     trace::fourCoreGroups();
     trace::specProfile(trace::allSpecApps().front());
+    api::schemeRegistry();
+    api::replPolicyRegistry();
+    api::gatingModeRegistry();
+    api::thresholdModeRegistry();
+    api::scaleRegistry();
+    api::workloadRegistry();
     static RunExecutor executor(g_initial_threads);
     return executor;
 }
@@ -196,9 +208,12 @@ RunExecutor::workerLoop()
         }
         std::function<void()> task = std::move(queue_.front());
         queue_.pop_front();
+        ++busy_;
         lock.unlock();
         task();
         lock.lock();
+        --busy_;
+        drain_cv_.notify_all();
     }
 }
 
@@ -243,10 +258,14 @@ RunExecutor::run(const RunKey &key)
             if (!queue_.empty()) {
                 task = std::move(queue_.front());
                 queue_.pop_front();
+                ++busy_;
             }
         }
         if (task) {
             task();
+            std::lock_guard<std::mutex> lock(mutex_);
+            --busy_;
+            drain_cv_.notify_all();
         } else {
             future.wait();
         }
@@ -257,20 +276,18 @@ RunExecutor::run(const RunKey &key)
 void
 RunExecutor::clear()
 {
-    // Drain: every cached future is awaited so no in-flight run can
-    // complete into a cleared cache entry's storage.
-    std::vector<Future> pending;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        pending.reserve(cache_.size());
-        for (const auto &[key, future] : cache_) {
-            pending.push_back(future);
-        }
-    }
-    for (Future &future : pending) {
-        future.wait();
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Drain first: wait until no task is queued and no worker (or
+    // helping caller) is inside a run, so nothing can complete into —
+    // or be submitted against — the cache being cleared. See the
+    // header contract: callers must not race clear() with concurrent
+    // prefetch()/run() from other threads.
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_cv_.wait(lock,
+                   [this] { return queue_.empty() && busy_ == 0; });
+    COOPSIM_ASSERT(queue_.empty() && busy_ == 0,
+                   "clear() raced a concurrent submission; the "
+                   "executor must be drained before the cache is "
+                   "cleared");
     cache_.clear();
 }
 

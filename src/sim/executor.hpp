@@ -60,7 +60,10 @@ struct RunKey
     };
 
     Kind kind = Kind::Group;
-    llc::Scheme scheme = llc::Scheme::Cooperative;
+    /** Scheme-registry name ("coop", "ucp", ... or a custom
+     *  registration); the string key is what lets extensions run
+     *  through the executor without growing an enum. */
+    std::string scheme = "coop";
     /** Group name ("G2-3") or solo app name ("h264ref"). */
     std::string name;
     /** Geometry selector: 2 or 4 (solo runs shrink it to one core). */
@@ -129,7 +132,18 @@ class RunExecutor
      */
     const RunResult &run(const RunKey &key);
 
-    /** Waits for all in-flight runs, then empties the memo cache. */
+    /**
+     * Drains the executor (waits until the queue is empty and no
+     * worker or helping caller is inside a run), asserts the drained
+     * state, then empties the memo cache.
+     *
+     * Contract: clear() must not race with concurrent prefetch()/run()
+     * calls from other threads — results handed out before clear()
+     * dangle afterwards, and a submission racing the drain would be
+     * executed into a cache the caller just invalidated. The executor
+     * asserts the queue is still empty at clearing time to catch such
+     * misuse.
+     */
     void clear();
 
     /** Stops, joins and respawns the pool with @p threads workers
@@ -150,9 +164,13 @@ class RunExecutor
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
+    /** Signalled whenever a task completes (clear() drains on it). */
+    std::condition_variable drain_cv_;
     std::deque<std::function<void()>> queue_;
     std::unordered_map<RunKey, Future, RunKeyHash> cache_;
     std::vector<std::thread> workers_;
+    /** Tasks currently executing (workers + helping callers). */
+    unsigned busy_ = 0;
     bool stop_ = false;
 };
 

@@ -1,8 +1,7 @@
 #include "sim/runner.hpp"
 
-#include <cstdlib>
-#include <cstring>
-
+#include "api/cli.hpp"
+#include "api/registry.hpp"
 #include "common/logging.hpp"
 
 namespace coopsim::sim
@@ -14,7 +13,7 @@ groupKey(llc::Scheme scheme, const trace::WorkloadGroup &group,
 {
     RunKey key;
     key.kind = RunKey::Kind::Group;
-    key.scheme = scheme;
+    key.scheme = api::schemeKeyOf(scheme);
     key.name = group.name;
     key.num_cores = static_cast<std::uint32_t>(group.apps.size());
     key.scale = options.scale;
@@ -35,7 +34,7 @@ soloKey(const std::string &app, std::uint32_t num_cores,
     // sweep reuses one solo run per (app, geometry, scale, seed, repl).
     RunKey key;
     key.kind = RunKey::Kind::Solo;
-    key.scheme = llc::Scheme::Unmanaged;
+    key.scheme = "unmanaged";
     key.name = app;
     key.num_cores = num_cores;
     key.scale = options.scale;
@@ -129,60 +128,27 @@ clearRunCache()
 RunScale
 scaleFromArgs(int argc, char **argv)
 {
-    // Scan every argument (last flag wins) so an invalid --scale= is
-    // fatal regardless of where it sits relative to a valid one.
-    RunScale scale = RunScale::Bench;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--full") == 0 ||
-            std::strcmp(argv[i], "--scale=paper") == 0) {
-            scale = RunScale::Paper;
-        } else if (std::strcmp(argv[i], "--scale=bench") == 0) {
-            scale = RunScale::Bench;
-        } else if (std::strcmp(argv[i], "--scale=test") == 0) {
-            scale = RunScale::Test;
-        } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-            COOPSIM_FATAL("unrecognised scale '", argv[i] + 8,
-                          "' (expected test, bench or paper)");
-        }
-    }
-    return scale;
+    // Deprecated shim: one axis of api::parseCli, in the lenient mode
+    // that skips flags other binaries own.
+    return api::parseCli(argc, argv, api::kFlagScale, nullptr,
+                         /*reject_unknown=*/false)
+        .scale;
 }
 
 unsigned
 threadsFromArgs(int argc, char **argv)
 {
-    // Last flag wins, matching scaleFromArgs; every value is
-    // validated.
-    unsigned threads = 0;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-            const char *value = argv[i] + 10;
-            char *end = nullptr;
-            const unsigned long n = std::strtoul(value, &end, 10);
-            if (end == value || *end != '\0' || n < 1 || n > 1024) {
-                COOPSIM_FATAL("invalid --threads value '", value,
-                              "' (expected an integer in [1, 1024])");
-            }
-            threads = static_cast<unsigned>(n);
-        }
-    }
-    return threads;
+    return api::parseCli(argc, argv, api::kFlagThreads, nullptr,
+                         /*reject_unknown=*/false)
+        .threads;
 }
 
 unsigned
 applyThreadArgs(int argc, char **argv)
 {
-    const unsigned requested = threadsFromArgs(argc, argv);
-    if (requested > 0) {
-        // Before the first instance() this sizes the pool directly —
-        // no default-sized pool is spawned only to be torn down.
-        RunExecutor::requestInitialThreads(requested);
-    }
-    RunExecutor &executor = RunExecutor::instance();
-    if (requested > 0) {
-        executor.setThreads(requested); // no-op if already that size
-    }
-    return executor.threads();
+    api::CliOptions options;
+    options.threads = threadsFromArgs(argc, argv);
+    return api::applyCliThreads(options);
 }
 
 } // namespace coopsim::sim

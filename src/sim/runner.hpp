@@ -9,6 +9,13 @@
  * process, and a bench that calls prefetch*() with its whole sweep up
  * front runs the sweep on all host cores (--threads=N /
  * COOPSIM_THREADS; default hardware_concurrency).
+ *
+ * Deprecation note: new code should describe sweeps declaratively with
+ * api::ExperimentSpec (coopsim/experiment.hpp) instead of calling the
+ * enum-addressed helpers below. runGroup/soloIpc/prefetchGroups and
+ * the per-flag argument parsers (scaleFromArgs/threadsFromArgs/
+ * applyThreadArgs) are retained as thin shims over the string-keyed
+ * api layer and will not grow new axes.
  */
 
 #ifndef COOPSIM_SIM_RUNNER_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "api/registry.hpp"
 #include "common/logging.hpp"
 
 namespace coopsim::sim
@@ -59,7 +60,7 @@ applyScale(SystemConfig &config, RunScale scale)
 } // namespace
 
 SystemConfig
-makeTwoCoreConfig(llc::Scheme scheme, RunScale scale)
+makeTwoCoreConfig(const std::string &scheme, RunScale scale)
 {
     SystemConfig config;
     config.scheme = scheme;
@@ -72,7 +73,7 @@ makeTwoCoreConfig(llc::Scheme scheme, RunScale scale)
 }
 
 SystemConfig
-makeFourCoreConfig(llc::Scheme scheme, RunScale scale)
+makeFourCoreConfig(const std::string &scheme, RunScale scale)
 {
     SystemConfig config;
     config.scheme = scheme;
@@ -82,6 +83,18 @@ makeFourCoreConfig(llc::Scheme scheme, RunScale scale)
     config.llc.hit_latency = 20;
     applyScale(config, scale);
     return config;
+}
+
+SystemConfig
+makeTwoCoreConfig(llc::Scheme scheme, RunScale scale)
+{
+    return makeTwoCoreConfig(api::schemeKeyOf(scheme), scale);
+}
+
+SystemConfig
+makeFourCoreConfig(llc::Scheme scheme, RunScale scale)
+{
+    return makeFourCoreConfig(api::schemeKeyOf(scheme), scale);
 }
 
 System::System(const SystemConfig &config,
@@ -95,7 +108,7 @@ System::System(const SystemConfig &config,
     llc::LlcConfig lc = config_.llc;
     lc.num_cores = config_.num_cores;
     lc.seed = config_.seed;
-    llc_ = llc::makeLlc(config_.scheme, lc, dram_);
+    llc_ = api::makeLlcByName(config_.scheme, lc, dram_);
 
     trace::StreamGeometry sg;
     sg.llc_sets = lc.geometry.numSets();

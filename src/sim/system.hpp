@@ -40,7 +40,9 @@ enum class RunScale
 /** Complete configuration of one simulation. */
 struct SystemConfig
 {
-    llc::Scheme scheme = llc::Scheme::Cooperative;
+    /** Registry name of the LLC management scheme (api::schemeRegistry;
+     *  built-ins: "unmanaged", "fairshare", "ucp", "cpe", "coop"). */
+    std::string scheme = "coop";
     std::uint32_t num_cores = 2;
     llc::LlcConfig llc;
     mem::DramConfig dram;
@@ -56,11 +58,17 @@ struct SystemConfig
 
 /**
  * Builds the paper's two-core configuration (Table 2): 2 MB 8-way LLC,
- * 15-cycle latency.
+ * 15-cycle latency. @p scheme is a scheme-registry name.
  */
-SystemConfig makeTwoCoreConfig(llc::Scheme scheme, RunScale scale);
+SystemConfig makeTwoCoreConfig(const std::string &scheme,
+                               RunScale scale);
 
 /** The paper's four-core configuration: 4 MB 16-way, 20-cycle. */
+SystemConfig makeFourCoreConfig(const std::string &scheme,
+                                RunScale scale);
+
+/** Deprecated shims: enum-addressed configs (pre-registry API). */
+SystemConfig makeTwoCoreConfig(llc::Scheme scheme, RunScale scale);
 SystemConfig makeFourCoreConfig(llc::Scheme scheme, RunScale scale);
 
 /** Per-application results of a run. */

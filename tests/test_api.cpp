@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Tests for the declarative experiment API (src/api/):
+ *
+ *  - string-keyed registry lookup, unknown-name diagnostics and
+ *    duplicate rejection;
+ *  - ExperimentSpec -> RunKey cross-product expansion (counts, solo
+ *    deduplication, solos axis);
+ *  - canonical text encoding round-trips for specs and RunKeys
+ *    (parse(format(x)) == x, including non-representable decimals);
+ *  - the unified CLI parser (uniform unknown-flag rejection);
+ *  - drained-executor clearRunCache();
+ *  - a custom scheme registered by name running end-to-end through
+ *    the executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <coopsim/experiment.hpp>
+
+#include "llc/schemes.hpp"
+#include "sim/runner.hpp"
+
+using namespace coopsim;
+using namespace coopsim::api;
+
+namespace
+{
+
+/** A spec that resolves quickly at test scale. */
+ExperimentSpec
+tinySpec()
+{
+    ExperimentSpec spec;
+    spec.name = "tiny";
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {"fairshare"};
+    spec.groups = {"G2-10"};
+    spec.scale = "test";
+    return spec;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Registries
+
+TEST(Registry, BuiltinSchemesAreRegisteredInLegendOrder)
+{
+    const std::vector<std::string> names = schemeRegistry().names();
+    ASSERT_GE(names.size(), 5u);
+    EXPECT_EQ(names[0], "unmanaged");
+    EXPECT_EQ(names[1], "fairshare");
+    EXPECT_EQ(names[2], "ucp");
+    EXPECT_EQ(names[3], "cpe");
+    EXPECT_EQ(names[4], "coop");
+    EXPECT_EQ(schemeLabel("coop"), "Cooperative");
+    EXPECT_EQ(schemeLabel("cpe"), "DynamicCPE");
+}
+
+TEST(Registry, UnknownNamesAreFatalWithDiagnostics)
+{
+    setThrowOnFatal(true);
+    EXPECT_THROW(schemeRegistry().get("co-op"), FatalError);
+    EXPECT_THROW(replPolicyRegistry().get("plru"), FatalError);
+    EXPECT_THROW(gatingModeRegistry().get("clockgate"), FatalError);
+    EXPECT_THROW(thresholdModeRegistry().get("exact"), FatalError);
+    EXPECT_THROW(scaleRegistry().get("huge"), FatalError);
+    EXPECT_THROW(workloadRegistry().get("G3-1"), FatalError);
+    EXPECT_THROW(metricRegistry().get("latency"), FatalError);
+    setThrowOnFatal(false);
+    EXPECT_EQ(schemeRegistry().find("co-op"), nullptr);
+    EXPECT_TRUE(schemeRegistry().contains("ucp"));
+}
+
+TEST(Registry, DuplicateRegistrationIsFatal)
+{
+    setThrowOnFatal(true);
+    EXPECT_THROW(registerScheme("coop", "Duplicate",
+                                [](const llc::LlcConfig &config,
+                                   mem::DramModel &dram) {
+                                    return llc::makeLlc(
+                                        llc::Scheme::Cooperative,
+                                        config, dram);
+                                }),
+                 FatalError);
+    setThrowOnFatal(false);
+}
+
+TEST(Registry, EnumKeysRoundTrip)
+{
+    EXPECT_EQ(schemeKeyOf(llc::Scheme::DynamicCpe), "cpe");
+    EXPECT_EQ(replPolicyKeyOf(cache::ReplPolicy::Random), "random");
+    EXPECT_EQ(gatingModeKeyOf(llc::GatingMode::Drowsy), "drowsy");
+    EXPECT_EQ(thresholdModeKeyOf(
+                  partition::ThresholdMode::PaperLiteral),
+              "paperliteral");
+    EXPECT_EQ(scaleKeyOf(sim::RunScale::Paper), "paper");
+    EXPECT_EQ(replPolicyRegistry().get("mru"), cache::ReplPolicy::Mru);
+}
+
+TEST(Registry, WorkloadGlobsResolve)
+{
+    EXPECT_EQ(resolveWorkloads("G2-*").size(), 14u);
+    EXPECT_EQ(resolveWorkloads("G4-*").size(), 14u);
+    const auto exact = resolveWorkloads("G4-7");
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_EQ(exact[0].name, "G4-7");
+    setThrowOnFatal(true);
+    EXPECT_THROW(resolveWorkloads("G9-*"), FatalError);
+    setThrowOnFatal(false);
+}
+
+// ---------------------------------------------------------------------------
+// Spec expansion
+
+TEST(Spec, ExpandsTheCrossProductAndDedupesSolos)
+{
+    ExperimentSpec spec;
+    spec.layout = "none";
+    spec.schemes = {"fairshare", "coop"};
+    // G2-10 = {sjeng, calculix}, G2-11 = {sjeng, xalan}: three
+    // distinct apps, one shared.
+    spec.groups = {"G2-10", "G2-11"};
+    spec.thresholds = {0.0, 0.05};
+    spec.seeds = {1, 2};
+    spec.scale = "test";
+
+    const std::vector<sim::RunKey> keys = expandSpec(spec);
+    std::size_t group_keys = 0;
+    std::size_t solo_keys = 0;
+    for (const sim::RunKey &key : keys) {
+        (key.kind == sim::RunKey::Kind::Group ? group_keys
+                                              : solo_keys)++;
+    }
+    // 2 groups x 2 schemes x 2 thresholds x 2 seeds.
+    EXPECT_EQ(group_keys, 16u);
+    // 3 distinct (app, cores) pairs x 2 seeds; the threshold axis is
+    // normalised away for solos.
+    EXPECT_EQ(solo_keys, 6u);
+}
+
+TEST(Spec, SolosAxisExpandsWildcardAtSoloCores)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.schemes = {};
+    spec.groups = {};
+    spec.solos = {"*"};
+    spec.solo_cores = 4;
+    const std::vector<sim::RunKey> keys = expandSpec(spec);
+    EXPECT_EQ(keys.size(), trace::allSpecApps().size());
+    for (const sim::RunKey &key : keys) {
+        EXPECT_EQ(key.kind, sim::RunKey::Kind::Solo);
+        EXPECT_EQ(key.num_cores, 4u);
+        EXPECT_EQ(key.scheme, "unmanaged");
+    }
+}
+
+TEST(Spec, ValidateRejectsUnknownAxisNames)
+{
+    setThrowOnFatal(true);
+    {
+        ExperimentSpec spec = tinySpec();
+        spec.schemes = {"fairshare", "turbo"};
+        EXPECT_THROW(validateSpec(spec), FatalError);
+    }
+    {
+        ExperimentSpec spec = tinySpec();
+        spec.layout = "pie-chart";
+        EXPECT_THROW(validateSpec(spec), FatalError);
+    }
+    {
+        ExperimentSpec spec = tinySpec();
+        spec.layout = "schemes";
+        spec.baseline = "ucp"; // not in the schemes axis
+        EXPECT_THROW(validateSpec(spec), FatalError);
+    }
+    {
+        ExperimentSpec spec = tinySpec();
+        spec.scale = "gigantic";
+        EXPECT_THROW(validateSpec(spec), FatalError);
+    }
+    setThrowOnFatal(false);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical encoding
+
+TEST(SpecEncoding, FormatParseRoundTripsDefaults)
+{
+    const ExperimentSpec spec;
+    EXPECT_EQ(parseSpec(formatSpec(spec)), spec);
+}
+
+TEST(SpecEncoding, FormatParseRoundTripsEveryField)
+{
+    ExperimentSpec spec;
+    spec.name = "fig99";
+    spec.title = "A title with    spaces and: punctuation";
+    spec.layout = "thresholds";
+    spec.metric = "static_energy";
+    spec.baseline = "0.1";
+    spec.higher_better = false;
+    spec.with_solo = false;
+    spec.schemes = {"coop", "ucp"};
+    spec.groups = {"G2-*", "G4-3"};
+    // 1/3 and 0.1 are not exactly representable in binary64; the
+    // encoding must still round-trip them bit-exactly.
+    spec.thresholds = {0.0, 1.0 / 3.0, 0.1};
+    spec.threshold_modes = {"paperliteral", "missratio"};
+    spec.repl = {"mru", "random"};
+    spec.gating = {"drowsy"};
+    spec.seeds = {0, 18446744073709551615ull};
+    spec.scale = "paper";
+    spec.solos = {"mcf", "*"};
+    spec.solo_cores = 4;
+    EXPECT_EQ(parseSpec(formatSpec(spec)), spec);
+}
+
+TEST(SpecEncoding, ParseRejectsUnknownKeysAndBadMagic)
+{
+    setThrowOnFatal(true);
+    EXPECT_THROW(parseSpec("bogus v1\n"), FatalError);
+    EXPECT_THROW(parseSpec("coopsim-spec v1\nschmes coop\n"),
+                 FatalError);
+    EXPECT_THROW(parseSpec("coopsim-spec v1\nthresholds banana\n"),
+                 FatalError);
+    setThrowOnFatal(false);
+}
+
+TEST(SpecEncoding, HandWrittenSpecsKeepDefaultsForOmittedKeys)
+{
+    const ExperimentSpec spec = parseSpec("coopsim-spec v1\n"
+                                          "# comment lines are fine\n"
+                                          "name quick\n"
+                                          "groups G2-3\n");
+    EXPECT_EQ(spec.name, "quick");
+    EXPECT_EQ(spec.groups, std::vector<std::string>{"G2-3"});
+    EXPECT_EQ(spec.metric, "speedup");   // default retained
+    EXPECT_EQ(spec.scale, "bench");      // default retained
+}
+
+TEST(RunKeyEncoding, GroupAndSoloKeysRoundTrip)
+{
+    sim::RunOptions options;
+    options.scale = sim::RunScale::Test;
+    options.threshold = 1.0 / 3.0;
+    options.threshold_mode = partition::ThresholdMode::PaperLiteral;
+    options.repl = cache::ReplPolicy::Mru;
+    options.gating = llc::GatingMode::Drowsy;
+    options.seed = 1234567890123456789ull;
+
+    const sim::RunKey group = sim::groupKey(
+        llc::Scheme::DynamicCpe, trace::groupByName("G4-3"), options);
+    EXPECT_EQ(parseRunKey(formatRunKey(group)), group);
+
+    const sim::RunKey solo = sim::soloKey("h264ref", 2, options);
+    EXPECT_EQ(parseRunKey(formatRunKey(solo)), solo);
+}
+
+TEST(RunKeyEncoding, ParseRejectsMalformedLines)
+{
+    setThrowOnFatal(true);
+    EXPECT_THROW(parseRunKey("run scheme=coop"), FatalError);
+    EXPECT_THROW(parseRunKey("group scheme=warp"), FatalError);
+    EXPECT_THROW(parseRunKey("group bogus"), FatalError);
+    EXPECT_THROW(parseRunKey("group color=red"), FatalError);
+    setThrowOnFatal(false);
+}
+
+// ---------------------------------------------------------------------------
+// CLI parsing
+
+TEST(Cli, RejectsUnknownAndDisallowedFlagsUniformly)
+{
+    setThrowOnFatal(true);
+    {
+        // The motivating typo: --thread= (no s) must not be silently
+        // ignored.
+        const char *argv[] = {"bench", "--thread=4"};
+        EXPECT_THROW(
+            parseCli(2, const_cast<char **>(argv), kBenchFlags, ""),
+            FatalError);
+    }
+    {
+        // A real flag the binary did not opt into is rejected too.
+        const char *argv[] = {"bench", "--csv"};
+        EXPECT_THROW(
+            parseCli(2, const_cast<char **>(argv), kBenchFlags, ""),
+            FatalError);
+    }
+    {
+        // Positional arguments need the positional capability.
+        const char *argv[] = {"bench", "G2-3"};
+        EXPECT_THROW(
+            parseCli(2, const_cast<char **>(argv), kBenchFlags, ""),
+            FatalError);
+    }
+    setThrowOnFatal(false);
+}
+
+TEST(Cli, ParsesAllowedFlagsAndValidatesValues)
+{
+    const char *argv[] = {"cli",           "--scale=test",
+                          "--threads=8",   "--scheme=ucp",
+                          "--group=G4-2",  "--threshold=0.125",
+                          "--seed=7",      "--csv",
+                          "--spec=x.spec", "G2-9"};
+    const CliOptions options =
+        parseCli(10, const_cast<char **>(argv), kAllFlags, "");
+    EXPECT_EQ(options.scale, sim::RunScale::Test);
+    EXPECT_TRUE(options.scale_set);
+    EXPECT_EQ(options.scale_name, "test");
+    EXPECT_EQ(options.threads, 8u);
+    EXPECT_EQ(options.scheme, "ucp");
+    EXPECT_EQ(options.group, "G4-2");
+    EXPECT_EQ(options.threshold.value(), 0.125);
+    EXPECT_EQ(options.seed.value(), 7u);
+    EXPECT_TRUE(options.csv);
+    EXPECT_EQ(options.spec_path, "x.spec");
+    ASSERT_EQ(options.positional.size(), 1u);
+    EXPECT_EQ(options.positional[0], "G2-9");
+
+    setThrowOnFatal(true);
+    const char *bad_scale[] = {"cli", "--scale=warp9"};
+    EXPECT_THROW(
+        parseCli(2, const_cast<char **>(bad_scale), kAllFlags, ""),
+        FatalError);
+    const char *bad_threads[] = {"cli", "--threads=0"};
+    EXPECT_THROW(
+        parseCli(2, const_cast<char **>(bad_threads), kAllFlags, ""),
+        FatalError);
+    setThrowOnFatal(false);
+}
+
+TEST(Cli, LenientModeSkipsFlagsOtherBinariesOwn)
+{
+    // The deprecated sim::scaleFromArgs shim must keep tolerating a
+    // full bench command line.
+    const char *argv[] = {"bench", "--threads=4", "--scale=test",
+                          "--csv"};
+    EXPECT_EQ(sim::scaleFromArgs(4, const_cast<char **>(argv)),
+              sim::RunScale::Test);
+    EXPECT_EQ(sim::threadsFromArgs(4, const_cast<char **>(argv)), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor drain + end-to-end
+
+TEST(Experiment, ClearRunCacheDrainsThenInvalidates)
+{
+    const ExperimentSpec spec = tinySpec();
+    const std::vector<sim::RunKey> keys = expandSpec(spec);
+    ASSERT_FALSE(keys.empty());
+
+    // clear() right after an unconsumed prefetch is the racy shape
+    // the drain wait exists for: it must block until the queued runs
+    // retire, then invalidate.
+    sim::prefetch(keys);
+    sim::clearRunCache();
+
+    sim::prefetch(keys);
+    const std::uint64_t cycles =
+        sim::RunExecutor::instance().run(keys.front()).total_cycles;
+    EXPECT_GT(cycles, 0u);
+
+    // Recomputation after a second clear is deterministic. (The old
+    // reference itself dangles after clear(), per the documented
+    // contract, so only the copied value is compared.)
+    sim::clearRunCache();
+    const sim::RunResult &after =
+        sim::RunExecutor::instance().run(keys.front());
+    EXPECT_FALSE(after.apps.empty());
+    EXPECT_EQ(after.total_cycles, cycles);
+}
+
+TEST(Experiment, ResultsViewMatchesRunnerShims)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.with_solo = true;
+    const ExperimentResults results = runExperiment(spec);
+
+    Cell cell;
+    cell.group = "G2-10";
+    const sim::RunResult &via_api = results.result(cell);
+
+    sim::RunOptions options;
+    options.scale = sim::RunScale::Test;
+    const sim::RunResult &via_shim = sim::runGroup(
+        llc::Scheme::FairShare, trace::groupByName("G2-10"), options);
+    // Same RunKey -> same memoised object.
+    EXPECT_EQ(&via_api, &via_shim);
+    EXPECT_DOUBLE_EQ(
+        results.weightedSpeedup(cell),
+        sim::groupWeightedSpeedup(llc::Scheme::FairShare,
+                                  trace::groupByName("G2-10"),
+                                  options));
+}
+
+TEST(Experiment, CustomSchemeRunsThroughTheExecutorByName)
+{
+    // Register a clone of FairShare under a new name: same factory,
+    // different registry key. It must run end-to-end through the
+    // executor and — being the same simulation — produce identical
+    // numbers under a distinct memo entry.
+    if (!schemeRegistry().contains("fairclone")) {
+        registerScheme("fairclone", "FairClone",
+                       [](const llc::LlcConfig &config,
+                          mem::DramModel &dram) {
+                           return llc::makeLlc(llc::Scheme::FairShare,
+                                               config, dram);
+                       });
+    }
+
+    ExperimentSpec spec = tinySpec();
+    spec.schemes = {"fairshare", "fairclone"};
+    const ExperimentResults results = runExperiment(spec);
+
+    Cell fair;
+    fair.group = "G2-10";
+    fair.scheme = "fairshare";
+    Cell clone;
+    clone.group = "G2-10";
+    clone.scheme = "fairclone";
+    const sim::RunResult &a = results.result(fair);
+    const sim::RunResult &b = results.result(clone);
+    EXPECT_NE(&a, &b); // distinct cache entries...
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+        EXPECT_EQ(a.apps[i].ipc, b.apps[i].ipc); // ...same simulation
+    }
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
