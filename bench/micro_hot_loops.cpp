@@ -249,8 +249,12 @@ benchExecutorSweep(const std::string &scale, std::uint64_t &checksum)
 int
 main(int argc, char **argv)
 {
+    // No kFlagStore: this bench times the executor itself, and a
+    // store serving hits from disk would invalidate the serial vs.
+    // parallel sweep comparison — reject the flag instead of
+    // silently dropping it.
     const api::CliOptions cli =
-        api::parseCli(argc, argv, api::kBenchFlags,
+        api::parseCli(argc, argv, api::kFlagScale | api::kFlagThreads,
                       "usage: micro_hot_loops [--scale=test|bench|"
                       "paper] [--full] [--threads=N]\n");
     const unsigned threads = api::applyCliThreads(cli);

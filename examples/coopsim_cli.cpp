@@ -2,13 +2,25 @@
  * @file
  * Command-line driver over the experiment API.
  *
- * Two modes:
+ * Modes:
  *
  *  - `--spec=FILE` runs a full declarative experiment from a spec
  *    file (see specs/ for the paper's figures) and renders its table;
  *    `--scale=`/`--threads=`/`--seed=` override the file. Any figure
  *    bench is reproducible this way, bit-identically:
  *        coopsim_cli --spec=specs/fig05.spec --scale=test
+ *  - `--spec=FILE --store=DIR` additionally serves every run already
+ *    in DIR's result store from disk (zero simulations when warm —
+ *    see the stderr run-count stat) and persists new results to
+ *    DIR/results.coopstore on exit.
+ *  - `--spec=FILE --shard=I/N --store=DIR` runs only the i-th
+ *    round-robin slice of the expanded RunKey list and saves it to
+ *    DIR/shard-IofN.coopstore; no table is rendered. Run all N
+ *    shards (on as many hosts as you like), collect the shard files
+ *    into one directory, then:
+ *  - `--spec=FILE --merge --store=DIR` folds every store file in DIR
+ *    into DIR/results.coopstore and renders the table — bit-identical
+ *    to the unsharded run.
  *  - otherwise, one (scheme x group) cell with configurable
  *    threshold/seed/scale, printed as a full stat dump or a CSV row.
  *
@@ -20,6 +32,7 @@
 
 #include <coopsim/experiment.hpp>
 
+#include "common/logging.hpp"
 #include "sim/report.hpp"
 
 using namespace coopsim;
@@ -32,8 +45,10 @@ constexpr const char *kUsage =
     "                   [--threshold=0.05] [--seed=N] [--csv]\n"
     "                   [--scale=test|bench|paper] [--full] "
     "[--threads=N]\n"
-    "with --spec, only --scale/--threads/--seed may also be given\n"
-    "(they override the spec file).\n";
+    "                   [--store=DIR] [--shard=I/N] [--merge]\n"
+    "with --spec, only --scale/--threads/--seed/--store/--shard/"
+    "--merge\nmay also be given (the first three override the spec "
+    "file).\n--shard and --merge require --spec and --store.\n";
 
 } // namespace
 
@@ -49,12 +64,23 @@ main(int argc, char **argv)
         // --csv) is rejected instead.
         cli = api::parseCli(argc, argv,
                             api::kFlagSpec | api::kFlagScale |
-                                api::kFlagThreads | api::kFlagSeed,
+                                api::kFlagThreads | api::kFlagSeed |
+                                api::kFlagStore | api::kFlagShard |
+                                api::kFlagMerge,
                             kUsage);
+    } else if (cli.shard_set || cli.merge) {
+        COOPSIM_FATAL("--shard and --merge require --spec=FILE");
     }
     const unsigned threads = api::applyCliThreads(cli);
 
     if (!cli.spec_path.empty()) {
+        if (cli.shard_set && cli.merge) {
+            COOPSIM_FATAL("--shard and --merge are mutually exclusive");
+        }
+        if ((cli.shard_set || cli.merge) && cli.store_dir.empty()) {
+            COOPSIM_FATAL("--shard and --merge require --store=DIR");
+        }
+
         api::ExperimentSpec spec = api::parseSpecFile(cli.spec_path);
         if (cli.scale_set) {
             spec.scale = cli.scale_name;
@@ -66,12 +92,51 @@ main(int argc, char **argv)
         // the output is bit-identical to the fig binary's.
         api::CliOptions effective = cli;
         effective.scale = api::scaleRegistry().get(spec.scale);
+
+        if (cli.shard_set) {
+            // Shard mode: compute (and persist) this slice only; the
+            // table needs every cell, so none is rendered here.
+            auto result_store = std::make_shared<store::ResultStore>();
+            result_store->loadDir(cli.store_dir);
+            sim::RunExecutor &executor = sim::RunExecutor::instance();
+            executor.attachStore(result_store);
+
+            const std::vector<sim::RunKey> keys = api::expandSpec(spec);
+            const std::vector<sim::RunKey> slice = api::shardKeys(
+                keys, cli.shard_index, cli.shard_count);
+            api::printPreamble(effective, threads);
+            std::printf("# shard %u/%u: %zu of %zu runs\n",
+                        cli.shard_index, cli.shard_count, slice.size(),
+                        keys.size());
+
+            executor.prefetch(slice);
+            store::ResultStore shard_results;
+            for (const sim::RunKey &key : slice) {
+                shard_results.put(key, executor.run(key));
+            }
+            const std::string path =
+                cli.store_dir + "/" +
+                store::shardFileName(cli.shard_index, cli.shard_count);
+            shard_results.save(path);
+            api::printRunStats();
+            std::fprintf(stderr, "# store: saved %zu results to %s\n",
+                         shard_results.size(), path.c_str());
+            return 0;
+        }
+
+        // Unsharded run, optionally store-backed; --merge is the same
+        // path with the store mandatory: loading folds every shard
+        // file in the directory (last-writer-wins), the table renders
+        // from the folded results, and the at-exit save persists the
+        // merged store to results.coopstore.
+        api::attachCliStore(cli);
         api::printPreamble(effective, threads);
         api::printExperiment(spec);
         return 0;
     }
 
     // Single-cell mode: one spec with one value per axis.
+    api::attachCliStore(cli);
     api::ExperimentSpec spec;
     spec.name = "cli";
     spec.layout = "none";

@@ -15,10 +15,15 @@
  *  - registry.hpp    string-keyed registries: schemes, replacement
  *                    policies, gating/threshold modes, scales,
  *                    workload groups; registerScheme() for extensions
- *  - spec.hpp        ExperimentSpec, expandSpec(), the canonical
- *                    parse/format round-trip for specs and RunKeys
+ *  - spec.hpp        ExperimentSpec, expandSpec()/shardKeys(), the
+ *                    canonical parse/format round-trip for specs and
+ *                    RunKeys
  *  - experiment.hpp  ExperimentResults, named metrics, table printers
- *  - cli.hpp         the shared command-line parser (CliOptions)
+ *  - cli.hpp         the shared command-line parser (CliOptions),
+ *                    attachCliStore() for --store=DIR sessions
+ *  - result_store.hpp (coopsim::store) the disk-backed,
+ *                    RunKey-addressed result store behind --store /
+ *                    --shard / --merge
  */
 
 #ifndef COOPSIM_EXPERIMENT_HPP
@@ -28,5 +33,6 @@
 #include "api/experiment.hpp"
 #include "api/registry.hpp"
 #include "api/spec.hpp"
+#include "store/result_store.hpp"
 
 #endif // COOPSIM_EXPERIMENT_HPP

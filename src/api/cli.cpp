@@ -8,6 +8,7 @@
 #include "api/registry.hpp"
 #include "common/logging.hpp"
 #include "sim/executor.hpp"
+#include "store/result_store.hpp"
 
 namespace coopsim::api
 {
@@ -93,6 +94,33 @@ parseCli(int argc, char **argv, unsigned allowed, const char *usage,
         } else if ((allowed & kFlagCsv) &&
                    std::strcmp(arg, "--csv") == 0) {
             options.csv = true;
+        } else if ((allowed & kFlagStore) &&
+                   takeValue(arg, "--store=", value)) {
+            if (value.empty()) {
+                COOPSIM_FATAL("--store requires a directory path");
+            }
+            options.store_dir = value;
+        } else if ((allowed & kFlagShard) &&
+                   takeValue(arg, "--shard=", value)) {
+            const std::size_t slash = value.find('/');
+            if (slash == std::string::npos) {
+                COOPSIM_FATAL("invalid --shard value '", value,
+                              "' (expected I/N, e.g. 0/2)");
+            }
+            const std::uint64_t index =
+                parseUint(value.substr(0, slash), "--shard index");
+            const std::uint64_t count =
+                parseUint(value.substr(slash + 1), "--shard count");
+            if (count < 1 || count > 65536 || index >= count) {
+                COOPSIM_FATAL("invalid --shard value '", value,
+                              "' (need 0 <= I < N <= 65536)");
+            }
+            options.shard_index = static_cast<unsigned>(index);
+            options.shard_count = static_cast<unsigned>(count);
+            options.shard_set = true;
+        } else if ((allowed & kFlagMerge) &&
+                   std::strcmp(arg, "--merge") == 0) {
+            options.merge = true;
         } else if (reject_unknown) {
             COOPSIM_FATAL("unknown flag '", arg, "' (try --help)");
         }
@@ -131,14 +159,75 @@ printPreamble(const CliOptions &options, unsigned threads)
                 threads);
 }
 
+// ---------------------------------------------------------------------------
+// Result-store session (--store=DIR)
+
+namespace
+{
+
+std::shared_ptr<store::ResultStore> g_cli_store;
+std::string g_cli_store_path;
+
+/**
+ * Registered with atexit() after the executor singleton exists, so it
+ * runs before the executor's destructor: the save sees every result a
+ * consumed future has recorded (in-flight runs that never completed
+ * simply stay unrecorded).
+ */
+void
+saveCliStore()
+{
+    if (g_cli_store == nullptr) {
+        return;
+    }
+    g_cli_store->save(g_cli_store_path);
+    printRunStats();
+    std::fprintf(stderr, "# store: saved %zu results to %s\n",
+                 g_cli_store->size(), g_cli_store_path.c_str());
+}
+
+} // namespace
+
+void
+printRunStats()
+{
+    const sim::RunExecutor::Stats stats =
+        sim::RunExecutor::instance().stats();
+    std::fprintf(stderr, "# runs: simulations=%llu store_hits=%llu\n",
+                 static_cast<unsigned long long>(stats.simulations),
+                 static_cast<unsigned long long>(stats.store_hits));
+}
+
+std::shared_ptr<store::ResultStore>
+attachCliStore(const CliOptions &options)
+{
+    if (options.store_dir.empty()) {
+        return nullptr;
+    }
+    auto result_store = std::make_shared<store::ResultStore>();
+    const std::size_t loaded = result_store->loadDir(options.store_dir);
+    std::fprintf(stderr, "# store: loaded %zu results from %s\n",
+                 loaded, options.store_dir.c_str());
+    sim::RunExecutor::instance().attachStore(result_store);
+    const bool register_handler = g_cli_store == nullptr;
+    g_cli_store = result_store;
+    g_cli_store_path =
+        options.store_dir + "/" + store::kMergedFileName;
+    if (register_handler) {
+        std::atexit(saveCliStore);
+    }
+    return result_store;
+}
+
 CliOptions
 benchSetup(int argc, char **argv, unsigned allowed)
 {
     const CliOptions options = parseCli(
         argc, argv, allowed,
         "usage: bench [--scale=test|bench|paper] [--full] "
-        "[--threads=N]\n");
+        "[--threads=N] [--store=DIR]\n");
     printPreamble(options, applyCliThreads(options));
+    attachCliStore(options);
     return options;
 }
 

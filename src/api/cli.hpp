@@ -14,11 +14,17 @@
 #define COOPSIM_API_CLI_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/system.hpp"
+
+namespace coopsim::store
+{
+class ResultStore;
+}
 
 namespace coopsim::api
 {
@@ -34,11 +40,15 @@ enum CliFlag : unsigned
     kFlagThreshold = 1u << 5,  //!< --threshold=T
     kFlagSeed = 1u << 6,       //!< --seed=N
     kFlagCsv = 1u << 7,        //!< --csv
-    kFlagPositional = 1u << 8, //!< bare (non --) arguments
+    kFlagStore = 1u << 8,      //!< --store=DIR (result-store directory)
+    kFlagShard = 1u << 9,      //!< --shard=I/N (slice of the sweep)
+    kFlagMerge = 1u << 10,     //!< --merge (fold shard stores, render)
+    kFlagPositional = 1u << 11, //!< bare (non --) arguments
 };
 
-/** The fig/table benches: scale + threads only. */
-inline constexpr unsigned kBenchFlags = kFlagScale | kFlagThreads;
+/** The fig/table benches: scale + threads + result store. */
+inline constexpr unsigned kBenchFlags =
+    kFlagScale | kFlagThreads | kFlagStore;
 /** Examples taking a positional group name. */
 inline constexpr unsigned kExampleFlags =
     kBenchFlags | kFlagPositional;
@@ -63,6 +73,15 @@ struct CliOptions
     std::optional<double> threshold;
     std::optional<std::uint64_t> seed;
     bool csv = false;
+    /** Result-store directory (--store=DIR); empty = no store. */
+    std::string store_dir;
+    /** --shard=I/N slice of the expanded RunKey list. */
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
+    bool shard_set = false;
+    /** --merge: fold the shard stores in store_dir into one and
+     *  render the table from it. */
+    bool merge = false;
     std::vector<std::string> positional;
 };
 
@@ -89,8 +108,25 @@ unsigned applyCliThreads(const CliOptions &options);
  *  benches emit before their tables. */
 void printPreamble(const CliOptions &options, unsigned threads);
 
-/** parseCli + applyCliThreads + printPreamble: the three lines every
- *  bench main() opens with. */
+/**
+ * Opens the result store for a --store=DIR run: loads every
+ * `*.coopstore` file in the directory (last file wins per key),
+ * attaches the store to the process-wide executor, and registers an
+ * at-exit save of the merged store to `DIR/results.coopstore` plus a
+ * run-count report (printRunStats) on stderr. Returns nullptr — and
+ * does nothing — when the options carry no --store directory.
+ * benchSetup() calls this, so every bench is store-aware.
+ */
+std::shared_ptr<store::ResultStore>
+attachCliStore(const CliOptions &options);
+
+/** Prints the executor's run-count stat line
+ *  ("# runs: simulations=N store_hits=M") to stderr, keeping stdout
+ *  bit-identical between store-backed and fresh runs. */
+void printRunStats();
+
+/** parseCli + applyCliThreads + printPreamble + attachCliStore: the
+ *  lines every bench main() opens with. */
 CliOptions benchSetup(int argc, char **argv,
                       unsigned allowed = kBenchFlags);
 

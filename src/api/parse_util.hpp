@@ -8,23 +8,76 @@
 #ifndef COOPSIM_API_PARSE_UTIL_HPP
 #define COOPSIM_API_PARSE_UTIL_HPP
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hpp"
 
 namespace coopsim::api::detail
 {
 
+/** Whole-string strtod; false on empty input, trailing garbage or
+ *  overflow to infinity (a corrupt "1e999" must not load as inf). */
+inline bool
+tryParseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+        return false;
+    }
+    if (errno == ERANGE && std::isinf(value)) {
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+/** Whole-string strtoull; false on empty input, garbage, a negative
+ *  sign (strtoull would silently wrap it) or overflow. */
+inline bool
+tryParseUint(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text[0] == '-') {
+        return false;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+/** Whitespace-separated tokens of @p text (spec axes, store lines). */
+inline std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream stream(text);
+    std::string word;
+    while (stream >> word) {
+        words.push_back(word);
+    }
+    return words;
+}
+
 /** Whole-string strtod; fatal (naming @p what) on trailing garbage. */
 inline double
 parseDouble(const std::string &text, const char *what)
 {
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0') {
+    double value = 0.0;
+    if (!tryParseDouble(text, value)) {
         COOPSIM_FATAL("invalid ", what, " value '", text, "'");
     }
     return value;
@@ -34,10 +87,8 @@ parseDouble(const std::string &text, const char *what)
 inline std::uint64_t
 parseUint(const std::string &text, const char *what)
 {
-    char *end = nullptr;
-    const unsigned long long value =
-        std::strtoull(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0') {
+    std::uint64_t value = 0;
+    if (!tryParseUint(text, value)) {
         COOPSIM_FATAL("invalid ", what, " value '", text, "'");
     }
     return value;

@@ -15,23 +15,12 @@ namespace coopsim::api
 using detail::fmtDouble;
 using detail::parseDouble;
 using detail::parseUint;
+using detail::splitWords;
 
 namespace
 {
 
 constexpr const char *kSpecMagic = "coopsim-spec v1";
-
-std::vector<std::string>
-splitWords(const std::string &text)
-{
-    std::vector<std::string> words;
-    std::istringstream stream(text);
-    std::string word;
-    while (stream >> word) {
-        words.push_back(word);
-    }
-    return words;
-}
 
 std::string
 joinWords(const std::vector<std::string> &words)
@@ -223,6 +212,25 @@ expandSpec(const ExperimentSpec &spec)
     return keys;
 }
 
+std::vector<sim::RunKey>
+shardKeys(const std::vector<sim::RunKey> &keys, unsigned index,
+          unsigned count)
+{
+    if (count < 1) {
+        COOPSIM_FATAL("shard count must be at least 1");
+    }
+    if (index >= count) {
+        COOPSIM_FATAL("shard index ", index, " out of range for ",
+                      count, " shards (need 0 <= I < N)");
+    }
+    std::vector<sim::RunKey> slice;
+    slice.reserve(keys.size() / count + 1);
+    for (std::size_t i = index; i < keys.size(); i += count) {
+        slice.push_back(keys[i]);
+    }
+    return slice;
+}
+
 // ---------------------------------------------------------------------------
 // Canonical text encoding
 
@@ -377,14 +385,13 @@ formatRunKey(const sim::RunKey &key)
     return out;
 }
 
-sim::RunKey
-parseRunKey(const std::string &line)
+bool
+tryParseRunKey(const std::string &line, sim::RunKey &out)
 {
     const std::vector<std::string> words = splitWords(line);
     if (words.empty() ||
         (words[0] != "group" && words[0] != "solo")) {
-        COOPSIM_FATAL("invalid run key '", line,
-                      "' (expected 'group ...' or 'solo ...')");
+        return false;
     }
     sim::RunKey key;
     key.kind = words[0] == "group" ? sim::RunKey::Kind::Group
@@ -392,33 +399,72 @@ parseRunKey(const std::string &line)
     for (std::size_t i = 1; i < words.size(); ++i) {
         const std::size_t eq = words[i].find('=');
         if (eq == std::string::npos) {
-            COOPSIM_FATAL("invalid run key field '", words[i], "'");
+            return false;
         }
         const std::string name = words[i].substr(0, eq);
         const std::string value = words[i].substr(eq + 1);
         if (name == "scheme") {
-            schemeRegistry().get(value);
+            if (!schemeRegistry().contains(value)) {
+                return false;
+            }
             key.scheme = value;
         } else if (name == "name") {
             key.name = value;
         } else if (name == "cores") {
-            key.num_cores =
-                static_cast<std::uint32_t>(parseUint(value, "cores"));
+            std::uint64_t cores = 0;
+            if (!detail::tryParseUint(value, cores)) {
+                return false;
+            }
+            key.num_cores = static_cast<std::uint32_t>(cores);
         } else if (name == "scale") {
-            key.scale = scaleRegistry().get(value);
+            const sim::RunScale *scale = scaleRegistry().find(value);
+            if (scale == nullptr) {
+                return false;
+            }
+            key.scale = *scale;
         } else if (name == "threshold") {
-            key.threshold = parseDouble(value, "threshold");
+            if (!detail::tryParseDouble(value, key.threshold)) {
+                return false;
+            }
         } else if (name == "tmode") {
-            key.threshold_mode = thresholdModeRegistry().get(value);
+            const partition::ThresholdMode *mode =
+                thresholdModeRegistry().find(value);
+            if (mode == nullptr) {
+                return false;
+            }
+            key.threshold_mode = *mode;
         } else if (name == "repl") {
-            key.repl = replPolicyRegistry().get(value);
+            const cache::ReplPolicy *repl =
+                replPolicyRegistry().find(value);
+            if (repl == nullptr) {
+                return false;
+            }
+            key.repl = *repl;
         } else if (name == "gating") {
-            key.gating = gatingModeRegistry().get(value);
+            const llc::GatingMode *gating =
+                gatingModeRegistry().find(value);
+            if (gating == nullptr) {
+                return false;
+            }
+            key.gating = *gating;
         } else if (name == "seed") {
-            key.seed = parseUint(value, "seed");
+            if (!detail::tryParseUint(value, key.seed)) {
+                return false;
+            }
         } else {
-            COOPSIM_FATAL("unknown run key field '", name, "'");
+            return false;
         }
+    }
+    out = std::move(key);
+    return true;
+}
+
+sim::RunKey
+parseRunKey(const std::string &line)
+{
+    sim::RunKey key;
+    if (!tryParseRunKey(line, key)) {
+        COOPSIM_FATAL("invalid run key line '", line, "'");
     }
     return key;
 }

@@ -100,6 +100,16 @@ resolveSpecGroups(const ExperimentSpec &spec);
  */
 std::vector<sim::RunKey> expandSpec(const ExperimentSpec &spec);
 
+/**
+ * Deterministic shard of an expanded key list: the keys at positions
+ * index, index + count, index + 2*count, ... (round-robin, so every
+ * shard gets a balanced mix of group and solo runs). The union over
+ * index = 0..count-1 is exactly @p keys; fatal when index >= count or
+ * count is 0. This is the `coopsim_cli --shard=I/N` slice.
+ */
+std::vector<sim::RunKey> shardKeys(const std::vector<sim::RunKey> &keys,
+                                   unsigned index, unsigned count);
+
 /** Canonical multi-line text encoding (every field, fixed order). */
 std::string formatSpec(const ExperimentSpec &spec);
 
@@ -120,6 +130,10 @@ std::string formatRunKey(const sim::RunKey &key);
 
 /** Parses formatRunKey() output; parseRunKey(formatRunKey(k)) == k. */
 sim::RunKey parseRunKey(const std::string &line);
+
+/** Non-fatal parseRunKey: false on malformed input or unknown
+ *  registry names (the result-store loader skips such lines). */
+bool tryParseRunKey(const std::string &line, sim::RunKey &out);
 
 } // namespace coopsim::api
 

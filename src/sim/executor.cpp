@@ -6,6 +6,7 @@
 
 #include "api/registry.hpp"
 #include "common/logging.hpp"
+#include "store/result_store.hpp"
 #include "trace/workloads.hpp"
 
 namespace coopsim::sim
@@ -115,8 +116,11 @@ executeRun(const RunKey &key)
 // RunExecutor
 
 RunExecutor::RunExecutor(unsigned threads)
+    : configured_threads_(threads > 0 ? threads : defaultThreadCount())
 {
-    startWorkers(threads > 0 ? threads : defaultThreadCount());
+    // The pool starts lazily, on the first submission that actually
+    // needs a simulation — a sweep served entirely from the attached
+    // result store never spawns a thread.
 }
 
 RunExecutor::~RunExecutor()
@@ -182,7 +186,10 @@ void
 RunExecutor::setThreads(unsigned threads)
 {
     const unsigned target = threads > 0 ? threads : defaultThreadCount();
-    if (target == workers_.size()) {
+    configured_threads_ = target;
+    if (workers_.empty() || target == workers_.size()) {
+        // Not yet started (stays lazy at the new size) or already
+        // at size.
         return;
     }
     // Workers finish their current run and exit; queued work is kept
@@ -194,7 +201,45 @@ RunExecutor::setThreads(unsigned threads)
 unsigned
 RunExecutor::threads() const
 {
+    return configured_threads_;
+}
+
+unsigned
+RunExecutor::activeWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<unsigned>(workers_.size());
+}
+
+void
+RunExecutor::ensureWorkersStarted()
+{
+    if (workers_.empty()) {
+        startWorkers(configured_threads_);
+    }
+}
+
+void
+RunExecutor::attachStore(std::shared_ptr<store::ResultStore> result_store)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_ = std::move(result_store);
+}
+
+std::shared_ptr<store::ResultStore>
+RunExecutor::attachedStore() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return store_;
+}
+
+RunExecutor::Stats
+RunExecutor::stats() const
+{
+    Stats stats;
+    stats.simulations = simulations_.load(std::memory_order_relaxed);
+    stats.store_hits = store_hits_.load(std::memory_order_relaxed);
+    return stats;
 }
 
 void
@@ -225,11 +270,35 @@ RunExecutor::submit(const RunKey &key)
     if (it != cache_.end()) {
         return it->second;
     }
+
+    // Disk-backed store lookup: a stored key becomes a ready future —
+    // nothing is queued and the pool is not started.
+    if (store_ != nullptr) {
+        if (std::optional<RunResult> hit = store_->find(key)) {
+            std::promise<ResultPtr> promise;
+            promise.set_value(
+                std::make_shared<const RunResult>(std::move(*hit)));
+            Future future = promise.get_future().share();
+            cache_.emplace(key, future);
+            store_hits_.fetch_add(1, std::memory_order_relaxed);
+            return future;
+        }
+    }
+
     auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
-        [key] { return std::make_shared<const RunResult>(executeRun(key)); });
+        [this, key, result_store = store_] {
+            simulations_.fetch_add(1, std::memory_order_relaxed);
+            auto result =
+                std::make_shared<const RunResult>(executeRun(key));
+            if (result_store != nullptr) {
+                result_store->put(key, *result);
+            }
+            return result;
+        });
     Future future = task->get_future().share();
     cache_.emplace(key, future);
     queue_.emplace_back([task] { (*task)(); });
+    ensureWorkersStarted();
     cv_.notify_one();
     return future;
 }

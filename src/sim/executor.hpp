@@ -27,6 +27,7 @@
 #ifndef COOPSIM_SIM_EXECUTOR_HPP
 #define COOPSIM_SIM_EXECUTOR_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -39,6 +40,11 @@
 #include <vector>
 
 #include "sim/system.hpp"
+
+namespace coopsim::store
+{
+class ResultStore;
+}
 
 namespace coopsim::sim
 {
@@ -89,15 +95,32 @@ struct RunKeyHash
 RunResult executeRun(const RunKey &key);
 
 /**
- * Thread-pool executor with a future-based memo cache.
+ * Thread-pool executor with a future-based memo cache and an optional
+ * disk-backed result store behind it.
  *
  * Worker count resolution, in priority order: setThreads() (the
  * --threads=N flag), the COOPSIM_THREADS environment variable, then
  * std::thread::hardware_concurrency().
+ *
+ * The pool starts lazily: no worker thread is spawned until a
+ * submission actually needs a simulation. With a store attached
+ * (attachStore()), a key already on disk becomes a ready future at
+ * submit() time — a fully warmed sweep runs zero simulations and
+ * never starts the pool.
  */
 class RunExecutor
 {
   public:
+    /** Run-count accounting since construction (the stat the
+     *  warm-store acceptance check reads). */
+    struct Stats
+    {
+        /** Simulations actually executed (memo/store misses). */
+        std::uint64_t simulations = 0;
+        /** Submissions served from the attached result store. */
+        std::uint64_t store_hits = 0;
+    };
+
     /** @param threads Worker count; 0 resolves the default above. */
     explicit RunExecutor(unsigned threads = 0);
     ~RunExecutor();
@@ -147,11 +170,34 @@ class RunExecutor
     void clear();
 
     /** Stops, joins and respawns the pool with @p threads workers
-     *  (0 = resolve the default). Pending work is carried over. */
+     *  (0 = resolve the default). Pending work is carried over; when
+     *  the pool has not started yet only the configured size changes
+     *  (it stays lazy). */
     void setThreads(unsigned threads);
 
-    /** Current worker count. */
+    /** Configured worker count (what the pool starts with). */
     unsigned threads() const;
+
+    /** Worker threads actually spawned: 0 until the first submission
+     *  that needs a simulation, so a fully store-served sweep reports
+     *  0 here while threads() still reports the configured size. */
+    unsigned activeWorkers() const;
+
+    /**
+     * Attaches the disk-backed result store consulted on every
+     * submission: a stored key is served as a ready future (counted
+     * in Stats::store_hits) without enqueueing work or starting the
+     * pool, and every simulation that does run is recorded back into
+     * the store on completion. Pass nullptr to detach. Admin call —
+     * do not race concurrent prefetch()/run().
+     */
+    void attachStore(std::shared_ptr<store::ResultStore> result_store);
+
+    /** The attached result store (null when none). */
+    std::shared_ptr<store::ResultStore> attachedStore() const;
+
+    /** Run-count counters (cumulative; never reset by clear()). */
+    Stats stats() const;
 
   private:
     using ResultPtr = std::shared_ptr<const RunResult>;
@@ -159,6 +205,9 @@ class RunExecutor
 
     Future submit(const RunKey &key);
     void workerLoop();
+    /** Spawns the pool at the configured size if it is not running.
+     *  Called with mutex_ held. */
+    void ensureWorkersStarted();
     void startWorkers(unsigned threads);
     void stopWorkers();
 
@@ -172,6 +221,12 @@ class RunExecutor
     /** Tasks currently executing (workers + helping callers). */
     unsigned busy_ = 0;
     bool stop_ = false;
+    /** Size the pool spawns at (lazily, on first queued work). */
+    unsigned configured_threads_ = 0;
+    /** Disk-backed store consulted before enqueueing (may be null). */
+    std::shared_ptr<store::ResultStore> store_;
+    std::atomic<std::uint64_t> simulations_{0};
+    std::atomic<std::uint64_t> store_hits_{0};
 };
 
 } // namespace coopsim::sim

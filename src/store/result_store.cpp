@@ -1,0 +1,397 @@
+#include "store/result_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "api/parse_util.hpp"
+#include "api/spec.hpp"
+#include "common/logging.hpp"
+
+namespace coopsim::store
+{
+
+using api::detail::fmtDouble;
+using api::detail::splitWords;
+using api::detail::tryParseDouble;
+using api::detail::tryParseUint;
+
+namespace
+{
+
+/** Splits on @p sep; the empty string yields no tokens (so an empty
+ *  list round-trips), but "a;;b" yields an empty middle token, which
+ *  the callers reject. */
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> tokens;
+    if (text.empty()) {
+        return tokens;
+    }
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            tokens.push_back(text.substr(start));
+            return tokens;
+        }
+        tokens.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+} // namespace
+
+std::string
+shardFileName(unsigned index, unsigned count)
+{
+    return "shard-" + std::to_string(index) + "of" +
+           std::to_string(count) + kStoreExtension;
+}
+
+// ---------------------------------------------------------------------------
+// RunResult line encoding
+
+std::string
+formatResult(const sim::RunResult &result)
+{
+    std::string out;
+    auto field = [&out](const char *name, const std::string &value) {
+        out += out.empty() ? "" : " ";
+        out += name;
+        out += "=";
+        out += value;
+    };
+    auto u = [](std::uint64_t value) { return std::to_string(value); };
+
+    field("cycles", u(result.total_cycles));
+    field("dyn_nj", fmtDouble(result.dynamic_energy_nj));
+    field("data_nj", fmtDouble(result.data_energy_nj));
+    field("static_nj", fmtDouble(result.static_energy_nj));
+    field("probed", fmtDouble(result.avg_ways_probed));
+    field("donor_hits", u(result.donor_hits));
+    field("donor_misses", u(result.donor_misses));
+    field("recip_hits", u(result.recipient_hits));
+    field("recip_misses", u(result.recipient_misses));
+    field("xfer_avg", fmtDouble(result.avg_transfer_cycles));
+    field("xfers", u(result.completed_transfers));
+    field("flushed", u(result.flushed_lines));
+    field("reparts", u(result.repartitions));
+    field("epochs", u(result.epochs));
+    field("flush_bin", u(result.flush_series_bin));
+    {
+        std::string series;
+        for (const std::uint64_t value : result.flush_series) {
+            series += series.empty() ? "" : ",";
+            series += u(value);
+        }
+        field("flush_series", series);
+    }
+    field("dram_reads", u(result.dram_reads));
+    field("dram_wb", u(result.dram_writebacks));
+    field("dram_flush", u(result.dram_flushes));
+    {
+        std::string apps;
+        for (const sim::AppResult &app : result.apps) {
+            apps += apps.empty() ? "" : ";";
+            apps += app.name;
+            for (const std::string &part :
+                 {fmtDouble(app.ipc), u(app.insts), u(app.cycles),
+                  u(app.llc_accesses), u(app.llc_hits),
+                  u(app.llc_misses), fmtDouble(app.mpki)}) {
+                apps += ":";
+                apps += part;
+            }
+        }
+        field("apps", apps);
+    }
+    return out;
+}
+
+bool
+tryParseResult(const std::string &text, sim::RunResult &out)
+{
+    const std::vector<std::string> words = splitWords(text);
+    std::size_t i = 0;
+    std::string value;
+    // Fields are parsed in the exact formatResult() order: a missing,
+    // reordered or unknown field is a parse failure, so a truncated
+    // line can never load as a plausible-but-wrong result.
+    auto next = [&](const char *name) -> bool {
+        if (i >= words.size()) {
+            return false;
+        }
+        const std::string &word = words[i];
+        const std::size_t len = std::strlen(name);
+        if (word.size() < len + 1 || word.compare(0, len, name) != 0 ||
+            word[len] != '=') {
+            return false;
+        }
+        value = word.substr(len + 1);
+        ++i;
+        return true;
+    };
+    auto takeU = [&](const char *name, std::uint64_t &dst) {
+        return next(name) && tryParseUint(value, dst);
+    };
+    auto takeD = [&](const char *name, double &dst) {
+        return next(name) && tryParseDouble(value, dst);
+    };
+
+    sim::RunResult result;
+    if (!takeU("cycles", result.total_cycles) ||
+        !takeD("dyn_nj", result.dynamic_energy_nj) ||
+        !takeD("data_nj", result.data_energy_nj) ||
+        !takeD("static_nj", result.static_energy_nj) ||
+        !takeD("probed", result.avg_ways_probed) ||
+        !takeU("donor_hits", result.donor_hits) ||
+        !takeU("donor_misses", result.donor_misses) ||
+        !takeU("recip_hits", result.recipient_hits) ||
+        !takeU("recip_misses", result.recipient_misses) ||
+        !takeD("xfer_avg", result.avg_transfer_cycles) ||
+        !takeU("xfers", result.completed_transfers) ||
+        !takeU("flushed", result.flushed_lines) ||
+        !takeU("reparts", result.repartitions) ||
+        !takeU("epochs", result.epochs) ||
+        !takeU("flush_bin", result.flush_series_bin)) {
+        return false;
+    }
+    if (!next("flush_series")) {
+        return false;
+    }
+    for (const std::string &token : splitOn(value, ',')) {
+        std::uint64_t bin = 0;
+        if (!tryParseUint(token, bin)) {
+            return false;
+        }
+        result.flush_series.push_back(bin);
+    }
+    if (!takeU("dram_reads", result.dram_reads) ||
+        !takeU("dram_wb", result.dram_writebacks) ||
+        !takeU("dram_flush", result.dram_flushes)) {
+        return false;
+    }
+    if (!next("apps")) {
+        return false;
+    }
+    for (const std::string &record : splitOn(value, ';')) {
+        const std::vector<std::string> parts = splitOn(record, ':');
+        if (parts.size() != 8 || parts[0].empty()) {
+            return false;
+        }
+        sim::AppResult app;
+        app.name = parts[0];
+        if (!tryParseDouble(parts[1], app.ipc) ||
+            !tryParseUint(parts[2], app.insts) ||
+            !tryParseUint(parts[3], app.cycles) ||
+            !tryParseUint(parts[4], app.llc_accesses) ||
+            !tryParseUint(parts[5], app.llc_hits) ||
+            !tryParseUint(parts[6], app.llc_misses) ||
+            !tryParseDouble(parts[7], app.mpki)) {
+            return false;
+        }
+        result.apps.push_back(std::move(app));
+    }
+    if (i != words.size()) {
+        return false; // trailing garbage
+    }
+    out = std::move(result);
+    return true;
+}
+
+sim::RunResult
+parseResult(const std::string &text)
+{
+    sim::RunResult result;
+    if (!tryParseResult(text, result)) {
+        COOPSIM_FATAL("invalid result encoding '", text, "'");
+    }
+    return result;
+}
+
+std::string
+formatStoreLine(const sim::RunKey &key, const sim::RunResult &result)
+{
+    return api::formatRunKey(key) + "\t" + formatResult(result);
+}
+
+bool
+tryParseStoreLine(const std::string &line, sim::RunKey &key,
+                  sim::RunResult &result)
+{
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+        return false;
+    }
+    return api::tryParseRunKey(line.substr(0, tab), key) &&
+           tryParseResult(line.substr(tab + 1), result);
+}
+
+// ---------------------------------------------------------------------------
+// ResultStore
+
+void
+ResultStore::put(const sim::RunKey &key, const sim::RunResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        entries_[it->second].second = result;
+        return;
+    }
+    index_.emplace(key, entries_.size());
+    entries_.emplace_back(key, result);
+}
+
+std::optional<sim::RunResult>
+ResultStore::find(const sim::RunKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        return std::nullopt;
+    }
+    return entries_[it->second].second;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<sim::RunKey>
+ResultStore::keys() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<sim::RunKey> keys;
+    keys.reserve(entries_.size());
+    for (const auto &[key, result] : entries_) {
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+void
+ResultStore::merge(const ResultStore &other)
+{
+    std::vector<std::pair<sim::RunKey, sim::RunResult>> copy;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        copy = other.entries_;
+    }
+    for (const auto &[key, result] : copy) {
+        put(key, result);
+    }
+}
+
+std::size_t
+ResultStore::loadFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        COOPSIM_WARN("cannot open result store file '", path,
+                     "'; skipped");
+        return 0;
+    }
+    std::string line;
+    if (!std::getline(file, line) || line != kStoreMagic) {
+        COOPSIM_WARN(path, ": not a coopsim result store (expected '",
+                     kStoreMagic, "' header); skipped");
+        return 0;
+    }
+    std::size_t loaded = 0;
+    std::size_t lineno = 1;
+    while (std::getline(file, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        sim::RunKey key;
+        sim::RunResult result;
+        if (!tryParseStoreLine(line, key, result)) {
+            COOPSIM_WARN(path, ":", lineno,
+                         ": corrupt or truncated store line skipped");
+            continue;
+        }
+        put(key, result);
+        ++loaded;
+    }
+    return loaded;
+}
+
+std::size_t
+ResultStore::loadDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        return 0;
+    }
+    std::vector<std::string> paths;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == kStoreExtension) {
+            paths.push_back(entry.path().string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    std::size_t loaded = 0;
+    for (const std::string &path : paths) {
+        loaded += loadFile(path);
+    }
+    return loaded;
+}
+
+void
+ResultStore::save(const std::string &path) const
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> lines;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lines.reserve(entries_.size());
+        for (const auto &[key, result] : entries_) {
+            lines.push_back(formatStoreLine(key, result));
+        }
+    }
+    // Sorted lines make the file content a function of the entry set
+    // alone, not of the (parallel, nondeterministic) completion order.
+    std::sort(lines.begin(), lines.end());
+
+    const fs::path target(path);
+    std::error_code ec;
+    if (target.has_parent_path()) {
+        fs::create_directories(target.parent_path(), ec);
+        if (ec) {
+            COOPSIM_FATAL("cannot create store directory '",
+                          target.parent_path().string(), "': ",
+                          ec.message());
+        }
+    }
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            COOPSIM_FATAL("cannot write store file '", tmp, "'");
+        }
+        out << kStoreMagic << "\n";
+        for (const std::string &line : lines) {
+            out << line << "\n";
+        }
+        out.flush();
+        if (!out) {
+            COOPSIM_FATAL("write to store file '", tmp, "' failed");
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        COOPSIM_FATAL("cannot rename '", tmp, "' over '", path, "': ",
+                      ec.message());
+    }
+}
+
+} // namespace coopsim::store

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Disk-backed, RunKey-addressed result store.
+ *
+ * The paper's figures are cross-products over (scheme x workload group
+ * x threshold x seed); distributing that run-key space across
+ * processes or hosts only works if completed simulations can be
+ * persisted, shipped and folded back together. A ResultStore is that
+ * persistence layer:
+ *
+ *  - each entry is one line, `formatRunKey(k) '\t' formatResult(r)` —
+ *    the canonical RunKey encoding (api/spec.hpp) is the merge key, so
+ *    any two stores produced by any two hosts can be combined;
+ *  - files are written atomically (write to `<path>.tmp`, then
+ *    rename), so a reader never observes a half-written store and a
+ *    crashed writer leaves the previous file intact;
+ *  - loading merges with last-writer-wins dedup (later files/lines
+ *    replace earlier entries for the same key), and corrupt or
+ *    truncated lines are skipped with a warning instead of poisoning
+ *    the store;
+ *  - sim::RunExecutor::attachStore() serves cache hits from a store
+ *    before any simulation is enqueued and records every completed
+ *    run back into it, turning repeated sweeps into O(cache misses).
+ *
+ * The result encoding round-trips every field of sim::RunResult
+ * bit-exactly (doubles via the shortest-exact fmtDouble encoding), so
+ * a figure table rendered from stored results is bit-identical to one
+ * rendered from fresh simulations. App names must not contain
+ * whitespace, ':' or ';' (the built-in SPEC benchmark names never do).
+ *
+ * Thread-safety: put()/find()/size() are safe to call concurrently
+ * (executor workers record results while the submitting thread probes
+ * for hits). Loading, saving and merging are administrative and must
+ * not race mutation.
+ */
+
+#ifndef COOPSIM_STORE_RESULT_STORE_HPP
+#define COOPSIM_STORE_RESULT_STORE_HPP
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/executor.hpp"
+
+namespace coopsim::store
+{
+
+/** First line of every store file. */
+inline constexpr const char *kStoreMagic = "coopsim-store v1";
+
+/** Store files are `<name>.coopstore`; loadDir() reads every one. */
+inline constexpr const char *kStoreExtension = ".coopstore";
+
+/** The file an unsharded or merged sweep persists to. */
+inline constexpr const char *kMergedFileName = "results.coopstore";
+
+/** The file `--shard=I/N` persists its slice to ("shard-0of2.coopstore"). */
+std::string shardFileName(unsigned index, unsigned count);
+
+/** Canonical single-line encoding of every RunResult field (doubles
+ *  round-trip bit-exactly). */
+std::string formatResult(const sim::RunResult &result);
+
+/** Strict parse of formatResult() output; false on any malformed,
+ *  reordered, truncated or trailing content. */
+bool tryParseResult(const std::string &text, sim::RunResult &out);
+
+/** tryParseResult or fatal. */
+sim::RunResult parseResult(const std::string &text);
+
+/** One store line: `formatRunKey(key) '\t' formatResult(result)`. */
+std::string formatStoreLine(const sim::RunKey &key,
+                            const sim::RunResult &result);
+
+/** Splits and parses one store line; false when either half is
+ *  malformed (unknown registry names included). */
+bool tryParseStoreLine(const std::string &line, sim::RunKey &key,
+                       sim::RunResult &result);
+
+/**
+ * An in-memory map of RunKey -> RunResult with the disk format above.
+ * Entries keep insertion order internally; save() emits lines sorted
+ * by their key encoding so identical contents produce identical files
+ * regardless of completion order.
+ */
+class ResultStore
+{
+  public:
+    /** Inserts or replaces (last-writer-wins) the entry for @p key. */
+    void put(const sim::RunKey &key, const sim::RunResult &result);
+
+    /** Copy of the stored result for @p key, if any. */
+    std::optional<sim::RunResult> find(const sim::RunKey &key) const;
+
+    bool contains(const sim::RunKey &key) const
+    {
+        return find(key).has_value();
+    }
+
+    std::size_t size() const;
+
+    /** Stored keys, in insertion order. */
+    std::vector<sim::RunKey> keys() const;
+
+    /** Folds @p other into this store; @p other wins on shared keys. */
+    void merge(const ResultStore &other);
+
+    /**
+     * Merges one store file into this store (last-writer-wins against
+     * existing entries). Returns the number of entries loaded. A
+     * missing file, a file without the magic header, and corrupt or
+     * truncated lines are skipped with a warning — a crash mid-append
+     * never poisons the surviving entries.
+     */
+    std::size_t loadFile(const std::string &path);
+
+    /** loadFile() on every `*.coopstore` in @p dir, in lexical
+     *  filename order (later files win). Missing dir loads nothing. */
+    std::size_t loadDir(const std::string &dir);
+
+    /**
+     * Atomically writes the whole store to @p path: the content goes
+     * to `<path>.tmp` first and is renamed over @p path only after a
+     * successful flush. Parent directories are created as needed.
+     */
+    void save(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    /** Insertion-ordered entries; index_ maps key -> position. */
+    std::vector<std::pair<sim::RunKey, sim::RunResult>> entries_;
+    std::unordered_map<sim::RunKey, std::size_t, sim::RunKeyHash> index_;
+};
+
+} // namespace coopsim::store
+
+#endif // COOPSIM_STORE_RESULT_STORE_HPP

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests for the disk-backed result store (src/store/):
+ *
+ *  - the RunResult line encoding round-trips every field bit-exactly
+ *    (including non-representable decimals) and strictly rejects
+ *    corrupt, reordered, truncated and trailing content;
+ *  - ResultStore save -> load identity through the atomic file
+ *    format, last-writer-wins merge semantics, corrupt-line skipping
+ *    on load, and lexical-order directory folding;
+ *  - shardKeys(): the round-robin shards partition the expanded
+ *    sweep (disjoint, union == full key list);
+ *  - the executor store hook: stored keys are served without
+ *    starting the pool or running a simulation (run-count stats),
+ *    and completed simulations are recorded back into the store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include <coopsim/experiment.hpp>
+
+#include "sim/runner.hpp"
+
+using namespace coopsim;
+using namespace coopsim::store;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** A RunResult exercising every field, including doubles with no
+ *  exact decimal representation. */
+sim::RunResult
+sampleResult(double salt = 0.0)
+{
+    sim::RunResult r;
+    sim::AppResult a;
+    a.name = "h264ref";
+    a.ipc = 1.0 / 3.0 + salt;
+    a.insts = 123456789ull;
+    a.cycles = 987654321ull;
+    a.llc_accesses = 4242;
+    a.llc_hits = 4000;
+    a.llc_misses = 242;
+    a.mpki = 0.1;
+    sim::AppResult b;
+    b.name = "mcf";
+    b.ipc = 0.7071067811865476;
+    b.insts = 1;
+    b.cycles = 18446744073709551615ull;
+    b.llc_accesses = 0;
+    b.llc_hits = 0;
+    b.llc_misses = 0;
+    b.mpki = 0.0;
+    r.apps = {a, b};
+    r.total_cycles = 1312996;
+    r.dynamic_energy_nj = 752.9368000000804;
+    r.data_energy_nj = 4922.343000000199;
+    r.static_energy_nj = 1.0 / 7.0;
+    r.avg_ways_probed = 3.4786465693201443;
+    r.donor_hits = 108;
+    r.donor_misses = 16;
+    r.recipient_hits = 3;
+    r.recipient_misses = 5;
+    r.avg_transfer_cycles = 17.25;
+    r.completed_transfers = 9;
+    r.flushed_lines = 131;
+    r.repartitions = 2;
+    r.epochs = 17;
+    r.flush_series = {62, 32, 15, 8, 8};
+    r.flush_series_bin = 10000;
+    r.dram_reads = 555;
+    r.dram_writebacks = 44;
+    r.dram_flushes = 3;
+    return r;
+}
+
+void
+expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    // Field-by-field bit equality; the encoding comparison below is
+    // the cheap proxy, this is the authoritative check.
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+        EXPECT_EQ(a.apps[i].name, b.apps[i].name);
+        EXPECT_EQ(a.apps[i].ipc, b.apps[i].ipc);
+        EXPECT_EQ(a.apps[i].insts, b.apps[i].insts);
+        EXPECT_EQ(a.apps[i].cycles, b.apps[i].cycles);
+        EXPECT_EQ(a.apps[i].llc_accesses, b.apps[i].llc_accesses);
+        EXPECT_EQ(a.apps[i].llc_hits, b.apps[i].llc_hits);
+        EXPECT_EQ(a.apps[i].llc_misses, b.apps[i].llc_misses);
+        EXPECT_EQ(a.apps[i].mpki, b.apps[i].mpki);
+    }
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.dynamic_energy_nj, b.dynamic_energy_nj);
+    EXPECT_EQ(a.data_energy_nj, b.data_energy_nj);
+    EXPECT_EQ(a.static_energy_nj, b.static_energy_nj);
+    EXPECT_EQ(a.avg_ways_probed, b.avg_ways_probed);
+    EXPECT_EQ(a.donor_hits, b.donor_hits);
+    EXPECT_EQ(a.donor_misses, b.donor_misses);
+    EXPECT_EQ(a.recipient_hits, b.recipient_hits);
+    EXPECT_EQ(a.recipient_misses, b.recipient_misses);
+    EXPECT_EQ(a.avg_transfer_cycles, b.avg_transfer_cycles);
+    EXPECT_EQ(a.completed_transfers, b.completed_transfers);
+    EXPECT_EQ(a.flushed_lines, b.flushed_lines);
+    EXPECT_EQ(a.repartitions, b.repartitions);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.flush_series, b.flush_series);
+    EXPECT_EQ(a.flush_series_bin, b.flush_series_bin);
+    EXPECT_EQ(a.dram_reads, b.dram_reads);
+    EXPECT_EQ(a.dram_writebacks, b.dram_writebacks);
+    EXPECT_EQ(a.dram_flushes, b.dram_flushes);
+}
+
+/** A distinct RunKey per @p n. */
+sim::RunKey
+sampleKey(unsigned n)
+{
+    sim::RunKey key;
+    key.kind = sim::RunKey::Kind::Group;
+    key.scheme = "coop";
+    key.name = "G2-" + std::to_string(1 + n % 14);
+    key.num_cores = 2;
+    key.scale = sim::RunScale::Test;
+    key.threshold = 0.05;
+    key.seed = 42 + n;
+    return key;
+}
+
+/** Fresh scratch directory under the gtest temp dir. */
+std::string
+scratchDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(testing::TempDir()) / ("coopsim_store_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Line encoding
+
+TEST(StoreEncoding, ResultRoundTripsEveryFieldBitExactly)
+{
+    const sim::RunResult original = sampleResult();
+    const std::string text = formatResult(original);
+
+    sim::RunResult parsed;
+    ASSERT_TRUE(tryParseResult(text, parsed));
+    expectIdentical(original, parsed);
+    EXPECT_EQ(formatResult(parsed), text);
+
+    // Degenerate shapes round-trip too: no apps, empty flush series.
+    const sim::RunResult empty;
+    ASSERT_TRUE(tryParseResult(formatResult(empty), parsed));
+    expectIdentical(empty, parsed);
+}
+
+TEST(StoreEncoding, StoreLineRoundTripsKeyAndResult)
+{
+    const sim::RunKey key = sampleKey(3);
+    const sim::RunResult result = sampleResult();
+    const std::string line = formatStoreLine(key, result);
+
+    sim::RunKey parsed_key;
+    sim::RunResult parsed_result;
+    ASSERT_TRUE(tryParseStoreLine(line, parsed_key, parsed_result));
+    EXPECT_EQ(parsed_key, key);
+    expectIdentical(result, parsed_result);
+}
+
+TEST(StoreEncoding, RejectsCorruptAndTruncatedText)
+{
+    const std::string good = formatResult(sampleResult());
+    sim::RunResult out;
+
+    // Truncation anywhere must fail, never parse as a plausible
+    // partial result.
+    for (const std::size_t len :
+         {std::size_t{0}, good.size() / 4, good.size() / 2,
+          good.size() - 1}) {
+        EXPECT_FALSE(tryParseResult(good.substr(0, len), out))
+            << "truncated at " << len;
+    }
+    // Trailing garbage, bad numbers, reordered/unknown fields.
+    EXPECT_FALSE(tryParseResult(good + " extra=1", out));
+    EXPECT_FALSE(tryParseResult("cycles=banana" + good.substr(12), out));
+    EXPECT_FALSE(tryParseResult("bogus=1 " + good, out));
+    // Numbers strtoull/strtod would silently mangle: a negative count
+    // (wraps to 2^64-1) and an overflowing double (becomes inf) must
+    // be rejected, not loaded as plausible results.
+    EXPECT_FALSE(
+        tryParseResult("cycles=-1" + good.substr(good.find(' ')), out));
+    const std::size_t dyn = good.find("dyn_nj=");
+    const std::size_t dyn_end = good.find(' ', dyn);
+    EXPECT_FALSE(tryParseResult(good.substr(0, dyn) + "dyn_nj=1e999" +
+                                    good.substr(dyn_end),
+                                out));
+
+    setThrowOnFatal(true);
+    EXPECT_THROW(parseResult("not a result"), FatalError);
+    setThrowOnFatal(false);
+
+    // A store line without a tab or with a bad key fails.
+    sim::RunKey key;
+    EXPECT_FALSE(tryParseStoreLine(good, key, out));
+    EXPECT_FALSE(
+        tryParseStoreLine("group scheme=warp\t" + good, key, out));
+}
+
+TEST(StoreEncoding, TryParseRunKeyRejectsWithoutFatal)
+{
+    sim::RunKey key;
+    EXPECT_FALSE(api::tryParseRunKey("run scheme=coop", key));
+    EXPECT_FALSE(api::tryParseRunKey("group scheme=warp", key));
+    EXPECT_FALSE(api::tryParseRunKey("group bogus", key));
+    EXPECT_FALSE(api::tryParseRunKey("group color=red", key));
+    EXPECT_FALSE(api::tryParseRunKey("group seed=banana", key));
+    ASSERT_TRUE(
+        api::tryParseRunKey(api::formatRunKey(sampleKey(1)), key));
+    EXPECT_EQ(key, sampleKey(1));
+}
+
+// ---------------------------------------------------------------------------
+// ResultStore
+
+TEST(ResultStore, PutFindAndMergeAreLastWriterWins)
+{
+    ResultStore a;
+    ResultStore b;
+    const sim::RunKey key = sampleKey(0);
+    a.put(key, sampleResult(0.0));
+    a.put(sampleKey(1), sampleResult(1.0));
+    b.put(key, sampleResult(9.0)); // same key, different result
+
+    EXPECT_EQ(a.size(), 2u);
+    ASSERT_TRUE(a.find(key).has_value());
+    EXPECT_EQ(a.find(key)->apps[0].ipc, sampleResult(0.0).apps[0].ipc);
+    EXPECT_FALSE(a.find(sampleKey(7)).has_value());
+
+    // Replacement in place...
+    a.put(key, sampleResult(5.0));
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.find(key)->apps[0].ipc, sampleResult(5.0).apps[0].ipc);
+
+    // ...and on merge the incoming store wins shared keys.
+    a.merge(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.find(key)->apps[0].ipc, sampleResult(9.0).apps[0].ipc);
+}
+
+TEST(ResultStore, SaveLoadRoundTripsAtomically)
+{
+    const std::string dir = scratchDir("roundtrip");
+    const std::string path = dir + "/a" + kStoreExtension;
+
+    ResultStore original;
+    for (unsigned n = 0; n < 5; ++n) {
+        original.put(sampleKey(n), sampleResult(n));
+    }
+    original.save(path);
+    EXPECT_FALSE(fs::exists(path + ".tmp")); // temp file renamed away
+
+    ResultStore loaded;
+    EXPECT_EQ(loaded.loadFile(path), 5u);
+    EXPECT_EQ(loaded.size(), original.size());
+    for (unsigned n = 0; n < 5; ++n) {
+        const auto hit = loaded.find(sampleKey(n));
+        ASSERT_TRUE(hit.has_value());
+        expectIdentical(*original.find(sampleKey(n)), *hit);
+    }
+
+    // save() creates missing parent directories.
+    const std::string nested =
+        dir + "/deep/nested/b" + kStoreExtension;
+    original.save(nested);
+    ResultStore reloaded;
+    EXPECT_EQ(reloaded.loadFile(nested), 5u);
+}
+
+TEST(ResultStore, LoadSkipsCorruptAndTruncatedLines)
+{
+    const std::string dir = scratchDir("corrupt");
+    const std::string path = dir + "/bad" + kStoreExtension;
+
+    const std::string good0 =
+        formatStoreLine(sampleKey(0), sampleResult(0));
+    const std::string good1 =
+        formatStoreLine(sampleKey(1), sampleResult(1));
+    {
+        std::ofstream out(path);
+        out << kStoreMagic << "\n";
+        out << "# comments and blank lines are fine\n\n";
+        out << good0 << "\n";
+        out << "group scheme=warp name=G2-1\tcycles=1\n"; // bad key
+        out << good1.substr(0, good1.size() / 2) << "\n"; // truncated
+        out << "complete garbage\n";
+        out << good1 << "\n";
+    }
+
+    setQuiet(true);
+    ResultStore loaded;
+    EXPECT_EQ(loaded.loadFile(path), 2u);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_TRUE(loaded.find(sampleKey(0)).has_value());
+    EXPECT_TRUE(loaded.find(sampleKey(1)).has_value());
+
+    // A file without the magic header loads nothing.
+    const std::string bogus = dir + "/not-a-store" + kStoreExtension;
+    {
+        std::ofstream out(bogus);
+        out << good0 << "\n";
+    }
+    ResultStore none;
+    EXPECT_EQ(none.loadFile(bogus), 0u);
+    EXPECT_EQ(none.loadFile(dir + "/absent.coopstore"), 0u);
+    setQuiet(false);
+}
+
+TEST(ResultStore, LoadDirFoldsFilesInLexicalOrder)
+{
+    const std::string dir = scratchDir("dirload");
+    const sim::RunKey shared = sampleKey(0);
+
+    ResultStore first;
+    first.put(shared, sampleResult(1.0));
+    first.put(sampleKey(1), sampleResult(0.0));
+    first.save(dir + "/shard-0of2" + kStoreExtension);
+
+    ResultStore second;
+    second.put(shared, sampleResult(2.0)); // later file wins
+    second.save(dir + "/shard-1of2" + kStoreExtension);
+
+    ResultStore merged;
+    EXPECT_EQ(merged.loadDir(dir), 3u);
+    EXPECT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged.find(shared)->apps[0].ipc,
+              sampleResult(2.0).apps[0].ipc);
+
+    // A missing directory folds nothing.
+    ResultStore empty;
+    EXPECT_EQ(empty.loadDir(dir + "/nowhere"), 0u);
+    EXPECT_EQ(shardFileName(0, 2), "shard-0of2.coopstore");
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+
+TEST(Shard, UnionOfShardsEqualsFullSweepExactly)
+{
+    api::ExperimentSpec spec;
+    spec.layout = "none";
+    spec.schemes = {"fairshare", "coop"};
+    spec.groups = {"G2-10", "G2-11", "G4-3"};
+    spec.thresholds = {0.0, 0.05};
+    spec.seeds = {1, 2};
+    spec.scale = "test";
+    const std::vector<sim::RunKey> keys = api::expandSpec(spec);
+    ASSERT_FALSE(keys.empty());
+
+    for (const unsigned count : {1u, 2u, 3u, 7u}) {
+        std::multiset<std::string> expected;
+        for (const sim::RunKey &key : keys) {
+            expected.insert(api::formatRunKey(key));
+        }
+        std::multiset<std::string> covered;
+        std::size_t total = 0;
+        for (unsigned index = 0; index < count; ++index) {
+            const std::vector<sim::RunKey> slice =
+                api::shardKeys(keys, index, count);
+            total += slice.size();
+            for (const sim::RunKey &key : slice) {
+                covered.insert(api::formatRunKey(key));
+            }
+        }
+        // Disjoint (total matches) and complete (multisets match).
+        EXPECT_EQ(total, keys.size()) << count << " shards";
+        EXPECT_EQ(covered, expected) << count << " shards";
+    }
+
+    EXPECT_EQ(api::shardKeys(keys, 0, 1), keys);
+    setThrowOnFatal(true);
+    EXPECT_THROW(api::shardKeys(keys, 2, 2), FatalError);
+    EXPECT_THROW(api::shardKeys(keys, 0, 0), FatalError);
+    setThrowOnFatal(false);
+}
+
+// ---------------------------------------------------------------------------
+// Executor store hook
+
+TEST(ExecutorStore, StoredKeysAreServedWithoutStartingThePool)
+{
+    sim::RunOptions options;
+    options.scale = sim::RunScale::Test;
+    const sim::RunKey key = sim::groupKey(
+        llc::Scheme::FairShare, trace::groupByName("G2-10"), options);
+
+    // Precompute the result serially and plant it in a store.
+    const sim::RunResult direct = sim::executeRun(key);
+    auto planted = std::make_shared<ResultStore>();
+    planted->put(key, direct);
+
+    sim::RunExecutor executor(2);
+    EXPECT_EQ(executor.threads(), 2u);
+    executor.attachStore(planted);
+
+    // Store hit: no pool thread spawns, no simulation runs.
+    executor.prefetch({key});
+    EXPECT_EQ(executor.activeWorkers(), 0u);
+    expectIdentical(direct, executor.run(key));
+    EXPECT_EQ(executor.activeWorkers(), 0u);
+    EXPECT_EQ(executor.stats().simulations, 0u);
+    EXPECT_EQ(executor.stats().store_hits, 1u);
+
+    // A key the store lacks still simulates (lazily starting the
+    // pool) and is recorded back into the store.
+    sim::RunKey missing = key;
+    missing.seed = 7;
+    const sim::RunResult &fresh = executor.run(missing);
+    EXPECT_FALSE(fresh.apps.empty());
+    EXPECT_EQ(executor.activeWorkers(), 2u);
+    EXPECT_EQ(executor.stats().simulations, 1u);
+    const auto recorded = planted->find(missing);
+    ASSERT_TRUE(recorded.has_value());
+    expectIdentical(fresh, *recorded);
+}
+
+TEST(ExecutorStore, WarmStoreReplaysAWholeSweepWithZeroSimulations)
+{
+    api::ExperimentSpec spec;
+    spec.layout = "none";
+    spec.with_solo = false;
+    spec.schemes = {"fairshare", "coop"};
+    spec.groups = {"G2-10"};
+    spec.scale = "test";
+    const std::vector<sim::RunKey> keys = api::expandSpec(spec);
+
+    // First executor computes the sweep into an attached store.
+    auto computed = std::make_shared<ResultStore>();
+    sim::RunExecutor cold(2);
+    cold.attachStore(computed);
+    cold.prefetch(keys);
+    for (const sim::RunKey &key : keys) {
+        cold.run(key);
+    }
+    EXPECT_EQ(cold.stats().simulations, keys.size());
+    EXPECT_EQ(computed->size(), keys.size());
+
+    // Round-trip the store through disk, then replay on a fresh
+    // executor: identical results, zero simulations, no pool.
+    const std::string dir = scratchDir("replay");
+    computed->save(dir + "/" + kMergedFileName);
+    auto reloaded = std::make_shared<ResultStore>();
+    EXPECT_EQ(reloaded->loadDir(dir), keys.size());
+
+    sim::RunExecutor warm(2);
+    warm.attachStore(reloaded);
+    warm.prefetch(keys);
+    for (const sim::RunKey &key : keys) {
+        expectIdentical(cold.run(key), warm.run(key));
+    }
+    EXPECT_EQ(warm.stats().simulations, 0u);
+    EXPECT_EQ(warm.stats().store_hits, keys.size());
+    EXPECT_EQ(warm.activeWorkers(), 0u);
+}
