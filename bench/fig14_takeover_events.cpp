@@ -2,15 +2,15 @@
  * @file
  * Reproduces Figure 14: breakdown of the events that set takeover bits
  * while ways migrate between cores (donor/recipient x hit/miss), as a
- * fraction of all bit-setting events per workload group.
+ * fraction of all bit-setting events per workload group. The same
+ * table is reproducible from a spec file:
+ * `coopsim_cli --spec=specs/fig14.spec`.
  *
  * Groups whose allocation never redistributes at the bench scale show
  * no events (printed as "-"); the paper's expectation — donor hits +
  * recipient misses ~ two-thirds of events — holds on the groups that
  * do migrate.
  */
-
-#include <cstdio>
 
 #include <coopsim/experiment.hpp>
 
@@ -22,54 +22,13 @@ main(int argc, char **argv)
 
     api::ExperimentSpec spec;
     spec.name = "fig14";
-    spec.layout = "none";
+    spec.title = "Figure 14: events setting takeover bits "
+                 "(fractions per group)";
+    spec.layout = "takeover";
     spec.with_solo = false;
     spec.schemes = {"coop"};
     spec.groups = {"G2-*"};
     spec.scale = cli.scale_name;
-    const api::ExperimentResults results = api::runExperiment(spec);
-
-    std::printf("Figure 14: events setting takeover bits "
-                "(fractions per group)\n");
-    std::printf("%-8s %10s %10s %10s %10s %10s\n", "group", "recipMiss",
-                "recipHit", "donorMiss", "donorHit", "events");
-
-    std::uint64_t tdh = 0;
-    std::uint64_t tdm = 0;
-    std::uint64_t trh = 0;
-    std::uint64_t trm = 0;
-    for (const auto &group : results.groups()) {
-        api::Cell cell;
-        cell.group = group.name;
-        const auto &r = results.result(cell);
-        const std::uint64_t total = r.donor_hits + r.donor_misses +
-                                    r.recipient_hits +
-                                    r.recipient_misses;
-        tdh += r.donor_hits;
-        tdm += r.donor_misses;
-        trh += r.recipient_hits;
-        trm += r.recipient_misses;
-        if (total == 0) {
-            std::printf("%-8s %10s %10s %10s %10s %10s\n",
-                        group.name.c_str(), "-", "-", "-", "-", "0");
-            continue;
-        }
-        const double d = static_cast<double>(total);
-        std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %10llu\n",
-                    group.name.c_str(), r.recipient_misses / d,
-                    r.recipient_hits / d, r.donor_misses / d,
-                    r.donor_hits / d,
-                    static_cast<unsigned long long>(total));
-    }
-    const std::uint64_t total = tdh + tdm + trh + trm;
-    if (total > 0) {
-        const double d = static_cast<double>(total);
-        std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %10llu\n", "AVG",
-                    trm / d, trh / d, tdm / d, tdh / d,
-                    static_cast<unsigned long long>(total));
-        std::printf("# donor hits + recipient misses = %.3f "
-                    "(paper: ~two-thirds)\n",
-                    (tdh + trm) / d);
-    }
+    api::printExperiment(spec);
     return 0;
 }

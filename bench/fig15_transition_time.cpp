@@ -4,15 +4,11 @@
  * between cores — cooperative takeover vs UCP's lazy, recipient-miss-
  * driven movement (which the paper measures as the time to move one
  * block in every set). The paper's headline: Cooperative is ~5x
- * faster (10M vs 58M cycles at paper scale).
+ * faster (10M vs 58M cycles at paper scale). The same table is
+ * reproducible from a spec file: `coopsim_cli --spec=specs/fig15.spec`.
  */
 
-#include <cstdio>
-#include <vector>
-
 #include <coopsim/experiment.hpp>
-
-#include "common/stats.hpp"
 
 int
 main(int argc, char **argv)
@@ -22,52 +18,12 @@ main(int argc, char **argv)
 
     api::ExperimentSpec spec;
     spec.name = "fig15";
-    spec.layout = "none";
+    spec.title = "Figure 15: cycles required to transfer a way";
+    spec.layout = "transfers";
     spec.with_solo = false;
     spec.schemes = {"ucp", "coop"};
     spec.groups = {"G2-*"};
     spec.scale = cli.scale_name;
-    const api::ExperimentResults results = api::runExperiment(spec);
-
-    std::printf("Figure 15: cycles required to transfer a way\n");
-    std::printf("%-8s %14s %14s %8s %8s\n", "group", "UCP",
-                "Cooperative", "#ucp", "#coop");
-
-    std::vector<double> ucp_all;
-    std::vector<double> coop_all;
-    for (const auto &group : results.groups()) {
-        api::Cell ucp_cell;
-        ucp_cell.group = group.name;
-        ucp_cell.scheme = "ucp";
-        api::Cell coop_cell;
-        coop_cell.group = group.name;
-        coop_cell.scheme = "coop";
-        const auto &u = results.result(ucp_cell);
-        const auto &c = results.result(coop_cell);
-        if (u.completed_transfers > 0) {
-            ucp_all.push_back(u.avg_transfer_cycles);
-        }
-        if (c.completed_transfers > 0) {
-            coop_all.push_back(c.avg_transfer_cycles);
-        }
-        auto fmt = [](const coopsim::sim::RunResult &r) {
-            return r.completed_transfers > 0 ? r.avg_transfer_cycles
-                                             : 0.0;
-        };
-        std::printf("%-8s %14.0f %14.0f %8llu %8llu\n",
-                    group.name.c_str(), fmt(u), fmt(c),
-                    static_cast<unsigned long long>(
-                        u.completed_transfers),
-                    static_cast<unsigned long long>(
-                        c.completed_transfers));
-    }
-    const double ucp_avg = coopsim::stats::mean(ucp_all);
-    const double coop_avg = coopsim::stats::mean(coop_all);
-    std::printf("%-8s %14.0f %14.0f\n", "AVG", ucp_avg, coop_avg);
-    if (coop_avg > 0.0) {
-        std::printf("# UCP / Cooperative transfer-time ratio: %.2fx "
-                    "(paper: ~5.8x)\n",
-                    ucp_avg / coop_avg);
-    }
+    api::printExperiment(spec);
     return 0;
 }

@@ -3,12 +3,9 @@
  * Reproduces Figure 16: LLC-to-memory bandwidth used to flush dirty
  * blocks, as a function of time since a partitioning decision.
  * Cooperative shows a short, tall early burst; UCP a lower, longer
- * plateau — and flushes more lines in total.
+ * plateau — and flushes more lines in total. The same table is
+ * reproducible from a spec file: `coopsim_cli --spec=specs/fig16.spec`.
  */
-
-#include <algorithm>
-#include <cstdio>
-#include <vector>
 
 #include <coopsim/experiment.hpp>
 
@@ -20,56 +17,13 @@ main(int argc, char **argv)
 
     api::ExperimentSpec spec;
     spec.name = "fig16";
-    spec.layout = "none";
+    spec.title = "Figure 16: lines flushed vs cycles since a "
+                 "partitioning decision";
+    spec.layout = "bandwidth";
     spec.with_solo = false;
     spec.schemes = {"ucp", "coop"};
     spec.groups = {"G2-*"};
     spec.scale = cli.scale_name;
-    const api::ExperimentResults results = api::runExperiment(spec);
-
-    // Aggregate the per-decision flush time series over all groups.
-    std::vector<std::uint64_t> ucp_series;
-    std::vector<std::uint64_t> coop_series;
-    std::uint64_t ucp_lines = 0;
-    std::uint64_t coop_lines = 0;
-    coopsim::Tick bin = 1;
-    for (const auto &group : results.groups()) {
-        api::Cell ucp_cell;
-        ucp_cell.group = group.name;
-        ucp_cell.scheme = "ucp";
-        api::Cell coop_cell;
-        coop_cell.group = group.name;
-        coop_cell.scheme = "coop";
-        const auto &u = results.result(ucp_cell);
-        const auto &c = results.result(coop_cell);
-        bin = c.flush_series_bin;
-        ucp_series.resize(
-            std::max(ucp_series.size(), u.flush_series.size()), 0);
-        coop_series.resize(
-            std::max(coop_series.size(), c.flush_series.size()), 0);
-        for (std::size_t i = 0; i < u.flush_series.size(); ++i) {
-            ucp_series[i] += u.flush_series[i];
-        }
-        for (std::size_t i = 0; i < c.flush_series.size(); ++i) {
-            coop_series[i] += c.flush_series[i];
-        }
-        ucp_lines += u.flushed_lines;
-        coop_lines += c.flushed_lines;
-    }
-
-    std::printf("Figure 16: lines flushed vs cycles since a "
-                "partitioning decision\n");
-    std::printf("%-16s %12s %12s\n", "cycles", "UCP", "Cooperative");
-    for (std::size_t i = 0; i < coop_series.size(); ++i) {
-        std::printf("%-16llu %12llu %12llu\n",
-                    static_cast<unsigned long long>(bin * (i + 1)),
-                    static_cast<unsigned long long>(
-                        i < ucp_series.size() ? ucp_series[i] : 0),
-                    static_cast<unsigned long long>(coop_series[i]));
-    }
-    std::printf("# total lines flushed: UCP=%llu Cooperative=%llu "
-                "(paper: 6536 vs 5102 per transition)\n",
-                static_cast<unsigned long long>(ucp_lines),
-                static_cast<unsigned long long>(coop_lines));
+    api::printExperiment(spec);
     return 0;
 }

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The N-core scaling sweep: weighted speedup of the generated 8- and
+ * 16-application heterogeneous mixes (trace/workloads.hpp) under
+ * Cooperative Partitioning, swept across the partitioner registry —
+ * the paper's look-ahead allocator vs an equal split vs the greedy
+ * hill-climb — and normalised to look-ahead. The same table is
+ * reproducible from a spec file:
+ * `coopsim_cli --spec=specs/scaling.spec`.
+ *
+ * This is the sweep the topology table and the tournament-tree event
+ * loop exist for: the 8- and 16-core rows (8 MB/32-way and
+ * 16 MB/64-way LLCs) extrapolate the paper's per-core scaling rule
+ * beyond its 2/4-core evaluation.
+ */
+
+#include <coopsim/experiment.hpp>
+
+int
+main(int argc, char **argv)
+{
+    namespace api = coopsim::api;
+    const api::CliOptions cli = api::benchSetup(argc, argv);
+
+    api::ExperimentSpec spec;
+    spec.name = "scaling";
+    spec.title =
+        "Scaling: weighted speedup of 8/16-core mixes by partitioner";
+    spec.layout = "partitioners";
+    spec.metric = "speedup";
+    spec.baseline = "lookahead";
+    spec.schemes = {"coop"};
+    spec.groups = {"G8-*", "G16-*"};
+    spec.cores = {8, 16};
+    spec.partitioners = {"lookahead", "equalshare", "greedy"};
+    spec.scale = cli.scale_name;
+    api::printExperiment(spec);
+    return 0;
+}

@@ -46,11 +46,10 @@ main()
     std::printf("Table 1: hardware overheads of Cooperative "
                 "Partitioning\n\n");
 
-    using coopsim::sim::makeFourCoreConfig;
-    using coopsim::sim::makeTwoCoreConfig;
+    using coopsim::sim::makeSystemConfig;
     using coopsim::sim::RunScale;
-    const auto two = makeTwoCoreConfig("coop", RunScale::Paper);
-    const auto four = makeFourCoreConfig("coop", RunScale::Paper);
+    const auto two = makeSystemConfig(2, "coop", RunScale::Paper);
+    const auto four = makeSystemConfig(4, "coop", RunScale::Paper);
 
     std::printf("-- geometry-derived --\n");
     printConfig("Two core", two.num_cores, two.llc.geometry.numSets(),

@@ -51,11 +51,11 @@ main(int argc, char **argv)
     const double fair_ws = ref.weightedSpeedup(fair_cell);
 
     // LLC associativity of the system this group runs on (8 for the
-    // two-core geometry, 16 for four-core).
+    // two-core topology, 16 for four-core, ...).
     const double llc_ways = static_cast<double>(
-        (group.apps.size() <= 2
-             ? sim::makeTwoCoreConfig("coop", cli.scale)
-             : sim::makeFourCoreConfig("coop", cli.scale))
+        sim::makeSystemConfig(
+            static_cast<std::uint32_t>(group.apps.size()), "coop",
+            cli.scale)
             .llc.geometry.ways);
 
     std::printf("threshold sweep for %s (values normalised to "

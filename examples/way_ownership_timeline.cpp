@@ -54,8 +54,7 @@ main(int argc, char **argv)
     // Borrow the paper configuration (bench miniature) and build the
     // pieces by hand.
     const sim::SystemConfig config =
-        n == 2 ? sim::makeTwoCoreConfig("coop", sim::RunScale::Bench)
-               : sim::makeFourCoreConfig("coop", sim::RunScale::Bench);
+        sim::makeSystemConfig(n, "coop", sim::RunScale::Bench);
 
     mem::DramModel dram(config.dram);
     llc::CooperativeLlc coop(config.llc, dram);

@@ -1,5 +1,6 @@
 #include "api/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -86,6 +87,10 @@ ExperimentResults::keyFor(const Cell &cell) const
         !cell.threshold_mode.empty()
             ? cell.threshold_mode
             : firstOf(spec_.threshold_modes, "threshold mode"));
+    key.partitioner = partitionerRegistry().get(
+        !cell.partitioner.empty()
+            ? cell.partitioner
+            : firstOf(spec_.partitioners, "partitioner"));
     key.repl = replPolicyRegistry().get(
         !cell.repl.empty() ? cell.repl
                            : firstOf(spec_.repl, "replacement policy"));
@@ -121,6 +126,7 @@ ExperimentResults::soloResult(const std::string &app,
     key.scale = scaleRegistry().get(spec_.scale);
     key.threshold = 0.0;
     key.threshold_mode = partition::ThresholdMode::MissRatio;
+    key.partitioner = partition::Partitioner::Lookahead;
     key.repl = replPolicyRegistry().get(
         !cell.repl.empty() ? cell.repl
                            : firstOf(spec_.repl, "replacement policy"));
@@ -170,6 +176,40 @@ runExperiment(const ExperimentSpec &spec)
 namespace
 {
 
+/**
+ * Shared body of the normalised column layouts (schemes, thresholds,
+ * partitioners): one row per group with every cell normalised to that
+ * row's baseline cell, closed by a geometric-mean AVG row. The layout
+ * printers keep only their header lines and the Cell field their
+ * column axis sets.
+ */
+void
+printNormalisedRows(
+    const ExperimentResults &results, const MetricFn &metric,
+    int group_width, std::size_t columns,
+    const std::function<Cell(const std::string &)> &baseline_cell,
+    const std::function<Cell(const std::string &, std::size_t)> &cell_at)
+{
+    std::vector<std::vector<double>> norms(columns);
+    for (const trace::WorkloadGroup &group : results.groups()) {
+        const double baseline =
+            metric(results, baseline_cell(group.name));
+        std::printf("%-*s", group_width, group.name.c_str());
+        for (std::size_t i = 0; i < columns; ++i) {
+            const double norm = sim::normalizeTo(
+                metric(results, cell_at(group.name, i)), baseline);
+            norms[i].push_back(norm);
+            std::printf(" %12.3f", norm);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-*s", group_width, "AVG");
+    for (std::size_t i = 0; i < columns; ++i) {
+        std::printf(" %12.3f", stats::geomean(norms[i]));
+    }
+    std::printf("\n");
+}
+
 void
 printSchemeTable(const ExperimentResults &results,
                  const MetricFn &metric)
@@ -185,30 +225,20 @@ printSchemeTable(const ExperimentResults &results,
     }
     std::printf("\n");
 
-    std::vector<std::vector<double>> norms(spec.schemes.size());
-    for (const trace::WorkloadGroup &group : results.groups()) {
-        Cell baseline_cell;
-        baseline_cell.group = group.name;
-        baseline_cell.scheme = spec.baseline;
-        const double baseline = metric(results, baseline_cell);
-        std::printf("%-8s", group.name.c_str());
-        for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
+    printNormalisedRows(
+        results, metric, 8, spec.schemes.size(),
+        [&spec](const std::string &group) {
             Cell cell;
-            cell.group = group.name;
+            cell.group = group;
+            cell.scheme = spec.baseline;
+            return cell;
+        },
+        [&spec](const std::string &group, std::size_t i) {
+            Cell cell;
+            cell.group = group;
             cell.scheme = spec.schemes[i];
-            const double norm =
-                sim::normalizeTo(metric(results, cell), baseline);
-            norms[i].push_back(norm);
-            std::printf(" %12.3f", norm);
-        }
-        std::printf("\n");
-    }
-
-    std::printf("%-8s", "AVG");
-    for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
-        std::printf(" %12.3f", stats::geomean(norms[i]));
-    }
-    std::printf("\n");
+            return cell;
+        });
 }
 
 void
@@ -230,29 +260,216 @@ printThresholdTable(const ExperimentResults &results,
     }
     std::printf("\n");
 
-    std::vector<std::vector<double>> norms(spec.thresholds.size());
-    for (const trace::WorkloadGroup &group : results.groups()) {
-        Cell baseline_cell;
-        baseline_cell.group = group.name;
-        baseline_cell.threshold = baseline_t;
-        const double baseline = metric(results, baseline_cell);
-        std::printf("%-8s", group.name.c_str());
-        for (std::size_t i = 0; i < spec.thresholds.size(); ++i) {
+    printNormalisedRows(
+        results, metric, 8, spec.thresholds.size(),
+        [baseline_t](const std::string &group) {
             Cell cell;
-            cell.group = group.name;
+            cell.group = group;
+            cell.threshold = baseline_t;
+            return cell;
+        },
+        [&spec](const std::string &group, std::size_t i) {
+            Cell cell;
+            cell.group = group;
             cell.threshold = spec.thresholds[i];
-            const double norm =
-                sim::normalizeTo(metric(results, cell), baseline);
-            norms[i].push_back(norm);
-            std::printf(" %12.3f", norm);
-        }
-        std::printf("\n");
-    }
-    std::printf("%-8s", "AVG");
-    for (std::size_t i = 0; i < spec.thresholds.size(); ++i) {
-        std::printf(" %12.3f", stats::geomean(norms[i]));
+            return cell;
+        });
+}
+
+void
+printPartitionerTable(const ExperimentResults &results,
+                      const MetricFn &metric)
+{
+    const ExperimentSpec &spec = results.spec();
+    std::printf("%s\n", spec.title.c_str());
+    std::printf("# normalised to %s; %s is better\n",
+                spec.baseline.c_str(),
+                spec.higher_better ? "higher" : "lower");
+    std::printf("%-10s", "group");
+    for (const std::string &partitioner : spec.partitioners) {
+        std::printf(" %12s", partitioner.c_str());
     }
     std::printf("\n");
+
+    printNormalisedRows(
+        results, metric, 10, spec.partitioners.size(),
+        [&spec](const std::string &group) {
+            Cell cell;
+            cell.group = group;
+            cell.partitioner = spec.baseline;
+            return cell;
+        },
+        [&spec](const std::string &group, std::size_t i) {
+            Cell cell;
+            cell.group = group;
+            cell.partitioner = spec.partitioners[i];
+            return cell;
+        });
+}
+
+/** The Figure 14 breakdown: events that set takeover bits while ways
+ *  migrate (donor/recipient x hit/miss), for the first scheme. */
+void
+printTakeoverTable(const ExperimentResults &results)
+{
+    const ExperimentSpec &spec = results.spec();
+    std::printf("%s\n", spec.title.c_str());
+    std::printf("%-8s %10s %10s %10s %10s %10s\n", "group", "recipMiss",
+                "recipHit", "donorMiss", "donorHit", "events");
+
+    std::uint64_t tdh = 0;
+    std::uint64_t tdm = 0;
+    std::uint64_t trh = 0;
+    std::uint64_t trm = 0;
+    for (const auto &group : results.groups()) {
+        Cell cell;
+        cell.group = group.name;
+        const auto &r = results.result(cell);
+        const std::uint64_t total = r.donor_hits + r.donor_misses +
+                                    r.recipient_hits +
+                                    r.recipient_misses;
+        tdh += r.donor_hits;
+        tdm += r.donor_misses;
+        trh += r.recipient_hits;
+        trm += r.recipient_misses;
+        if (total == 0) {
+            std::printf("%-8s %10s %10s %10s %10s %10s\n",
+                        group.name.c_str(), "-", "-", "-", "-", "0");
+            continue;
+        }
+        const double d = static_cast<double>(total);
+        std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %10llu\n",
+                    group.name.c_str(), r.recipient_misses / d,
+                    r.recipient_hits / d, r.donor_misses / d,
+                    r.donor_hits / d,
+                    static_cast<unsigned long long>(total));
+    }
+    const std::uint64_t total = tdh + tdm + trh + trm;
+    if (total > 0) {
+        const double d = static_cast<double>(total);
+        std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %10llu\n", "AVG",
+                    trm / d, trh / d, tdm / d, tdh / d,
+                    static_cast<unsigned long long>(total));
+        std::printf("# donor hits + recipient misses = %.3f "
+                    "(paper: ~two-thirds)\n",
+                    (tdh + trm) / d);
+    }
+}
+
+/** The Figure 15 comparison: average cycles to transfer one complete
+ *  way, first scheme of the axis vs second. */
+void
+printTransferTable(const ExperimentResults &results)
+{
+    const ExperimentSpec &spec = results.spec();
+    const std::string &left = spec.schemes.at(0);
+    const std::string &right = spec.schemes.at(1);
+    std::printf("%s\n", spec.title.c_str());
+    std::printf("%-8s %14s %14s %8s %8s\n", "group",
+                schemeLabel(left).c_str(), schemeLabel(right).c_str(),
+                ("#" + left).c_str(), ("#" + right).c_str());
+
+    std::vector<double> left_all;
+    std::vector<double> right_all;
+    for (const auto &group : results.groups()) {
+        Cell left_cell;
+        left_cell.group = group.name;
+        left_cell.scheme = left;
+        Cell right_cell;
+        right_cell.group = group.name;
+        right_cell.scheme = right;
+        const auto &u = results.result(left_cell);
+        const auto &c = results.result(right_cell);
+        if (u.completed_transfers > 0) {
+            left_all.push_back(u.avg_transfer_cycles);
+        }
+        if (c.completed_transfers > 0) {
+            right_all.push_back(c.avg_transfer_cycles);
+        }
+        auto fmt = [](const sim::RunResult &r) {
+            return r.completed_transfers > 0 ? r.avg_transfer_cycles
+                                             : 0.0;
+        };
+        std::printf("%-8s %14.0f %14.0f %8llu %8llu\n",
+                    group.name.c_str(), fmt(u), fmt(c),
+                    static_cast<unsigned long long>(
+                        u.completed_transfers),
+                    static_cast<unsigned long long>(
+                        c.completed_transfers));
+    }
+    const double left_avg = stats::mean(left_all);
+    const double right_avg = stats::mean(right_all);
+    std::printf("%-8s %14.0f %14.0f\n", "AVG", left_avg, right_avg);
+    if (right_avg > 0.0) {
+        // The paper's reference number applies to its own comparison
+        // (UCP vs Cooperative) only.
+        const bool paper_pair = left == "ucp" && right == "coop";
+        std::printf("# %s / %s transfer-time ratio: %.2fx%s\n",
+                    schemeLabel(left).c_str(),
+                    schemeLabel(right).c_str(), left_avg / right_avg,
+                    paper_pair ? " (paper: ~5.8x)" : "");
+    }
+}
+
+/** The Figure 16 time series: flush traffic vs cycles since a
+ *  partitioning decision, first scheme of the axis vs second. */
+void
+printBandwidthTable(const ExperimentResults &results)
+{
+    const ExperimentSpec &spec = results.spec();
+    const std::string &left = spec.schemes.at(0);
+    const std::string &right = spec.schemes.at(1);
+
+    // Aggregate the per-decision flush time series over all groups.
+    std::vector<std::uint64_t> left_series;
+    std::vector<std::uint64_t> right_series;
+    std::uint64_t left_lines = 0;
+    std::uint64_t right_lines = 0;
+    Tick bin = 1;
+    for (const auto &group : results.groups()) {
+        Cell left_cell;
+        left_cell.group = group.name;
+        left_cell.scheme = left;
+        Cell right_cell;
+        right_cell.group = group.name;
+        right_cell.scheme = right;
+        const auto &u = results.result(left_cell);
+        const auto &c = results.result(right_cell);
+        bin = c.flush_series_bin;
+        left_series.resize(
+            std::max(left_series.size(), u.flush_series.size()), 0);
+        right_series.resize(
+            std::max(right_series.size(), c.flush_series.size()), 0);
+        for (std::size_t i = 0; i < u.flush_series.size(); ++i) {
+            left_series[i] += u.flush_series[i];
+        }
+        for (std::size_t i = 0; i < c.flush_series.size(); ++i) {
+            right_series[i] += c.flush_series[i];
+        }
+        left_lines += u.flushed_lines;
+        right_lines += c.flushed_lines;
+    }
+
+    std::printf("%s\n", spec.title.c_str());
+    std::printf("%-16s %12s %12s\n", "cycles",
+                schemeLabel(left).c_str(), schemeLabel(right).c_str());
+    for (std::size_t i = 0; i < right_series.size(); ++i) {
+        std::printf("%-16llu %12llu %12llu\n",
+                    static_cast<unsigned long long>(bin * (i + 1)),
+                    static_cast<unsigned long long>(
+                        i < left_series.size() ? left_series[i] : 0),
+                    static_cast<unsigned long long>(right_series[i]));
+    }
+    // The paper's per-transition totals apply to its own comparison
+    // (UCP vs Cooperative) only.
+    const bool paper_pair = left == "ucp" && right == "coop";
+    std::printf("# total lines flushed: %s=%llu %s=%llu%s\n",
+                schemeLabel(left).c_str(),
+                static_cast<unsigned long long>(left_lines),
+                schemeLabel(right).c_str(),
+                static_cast<unsigned long long>(right_lines),
+                paper_pair ? " (paper: 6536 vs 5102 per transition)"
+                           : "");
 }
 
 } // namespace
@@ -267,6 +484,14 @@ printTable(const ExperimentResults &results, const MetricFn &metric)
         printSchemeTable(results, fn);
     } else if (spec.layout == "thresholds") {
         printThresholdTable(results, fn);
+    } else if (spec.layout == "partitioners") {
+        printPartitionerTable(results, fn);
+    } else if (spec.layout == "takeover") {
+        printTakeoverTable(results);
+    } else if (spec.layout == "transfers") {
+        printTransferTable(results);
+    } else if (spec.layout == "bandwidth") {
+        printBandwidthTable(results);
     } else {
         COOPSIM_FATAL("spec '", spec.name, "' has layout '",
                       spec.layout,

@@ -43,6 +43,7 @@ struct Cell
     std::string scheme;
     std::optional<double> threshold;
     std::string threshold_mode;
+    std::string partitioner;
     std::string repl;
     std::string gating;
     std::optional<std::uint64_t> seed;

@@ -130,6 +130,19 @@ thresholdModeRegistry()
     return registry;
 }
 
+Registry<partition::Partitioner> &
+partitionerRegistry()
+{
+    static Registry<partition::Partitioner> registry = [] {
+        Registry<partition::Partitioner> r("partitioner");
+        r.add("lookahead", partition::Partitioner::Lookahead);
+        r.add("equalshare", partition::Partitioner::EqualShare);
+        r.add("greedy", partition::Partitioner::GreedyUtility);
+        return r;
+    }();
+    return registry;
+}
+
 Registry<sim::RunScale> &
 scaleRegistry()
 {
@@ -182,6 +195,12 @@ thresholdModeKeyOf(partition::ThresholdMode mode)
 }
 
 std::string
+partitionerKeyOf(partition::Partitioner partitioner)
+{
+    return keyOfValue(partitionerRegistry(), partitioner, "partitioner");
+}
+
+std::string
 scaleKeyOf(sim::RunScale scale)
 {
     return keyOfValue(scaleRegistry(), scale, "scale");
@@ -195,11 +214,13 @@ workloadRegistry()
 {
     static Registry<trace::WorkloadGroup> registry = [] {
         Registry<trace::WorkloadGroup> r("workload group");
-        for (const trace::WorkloadGroup &g : trace::twoCoreGroups()) {
-            r.add(g.name, g);
-        }
-        for (const trace::WorkloadGroup &g : trace::fourCoreGroups()) {
-            r.add(g.name, g);
+        for (const auto *groups :
+             {&trace::twoCoreGroups(), &trace::fourCoreGroups(),
+              &trace::eightCoreGroups(),
+              &trace::sixteenCoreGroups()}) {
+            for (const trace::WorkloadGroup &g : *groups) {
+                r.add(g.name, g);
+            }
         }
         return r;
     }();

@@ -34,7 +34,7 @@
 #include "cache/replacement.hpp"
 #include "common/logging.hpp"
 #include "llc/shared_cache.hpp"
-#include "partition/lookahead.hpp"
+#include "partition/partitioner.hpp"
 #include "trace/workloads.hpp"
 
 namespace coopsim::sim
@@ -156,6 +156,9 @@ std::unique_ptr<llc::BaseLlc> makeLlcByName(const std::string &name,
 Registry<cache::ReplPolicy> &replPolicyRegistry();
 Registry<llc::GatingMode> &gatingModeRegistry();
 Registry<partition::ThresholdMode> &thresholdModeRegistry();
+/** The epoch way-allocation algorithms ("lookahead", "equalshare",
+ *  "greedy"; see partition/partitioner.hpp). */
+Registry<partition::Partitioner> &partitionerRegistry();
 Registry<sim::RunScale> &scaleRegistry();
 
 /** Canonical names of the built-in enum values (the inverse of the
@@ -163,6 +166,7 @@ Registry<sim::RunScale> &scaleRegistry();
 std::string replPolicyKeyOf(cache::ReplPolicy policy);
 std::string gatingModeKeyOf(llc::GatingMode mode);
 std::string thresholdModeKeyOf(partition::ThresholdMode mode);
+std::string partitionerKeyOf(partition::Partitioner partitioner);
 std::string scaleKeyOf(sim::RunScale scale);
 
 // ---------------------------------------------------------------------------

@@ -68,10 +68,22 @@ resolveSolos(const ExperimentSpec &spec)
 void
 validateSpec(const ExperimentSpec &spec)
 {
-    if (spec.layout != "schemes" && spec.layout != "thresholds" &&
-        spec.layout != "none") {
-        COOPSIM_FATAL("unknown layout '", spec.layout,
-                      "' (expected schemes, thresholds or none)");
+    static const char *kLayouts[] = {
+        "schemes",  "thresholds", "partitioners", "takeover",
+        "transfers", "bandwidth", "none",
+    };
+    bool layout_known = false;
+    for (const char *layout : kLayouts) {
+        layout_known = layout_known || spec.layout == layout;
+    }
+    if (!layout_known) {
+        std::string known;
+        for (const char *layout : kLayouts) {
+            known += known.empty() ? "" : ", ";
+            known += layout;
+        }
+        COOPSIM_FATAL("unknown layout '", spec.layout, "' (expected ",
+                      known, ")");
     }
     for (const std::string &scheme : spec.schemes) {
         schemeRegistry().get(scheme);
@@ -82,6 +94,9 @@ validateSpec(const ExperimentSpec &spec)
     for (const std::string &mode : spec.threshold_modes) {
         thresholdModeRegistry().get(mode);
     }
+    for (const std::string &partitioner : spec.partitioners) {
+        partitionerRegistry().get(partitioner);
+    }
     for (const std::string &policy : spec.repl) {
         replPolicyRegistry().get(policy);
     }
@@ -91,6 +106,12 @@ validateSpec(const ExperimentSpec &spec)
     scaleRegistry().get(spec.scale);
     for (const std::string &app : resolveSolos(spec)) {
         trace::specProfile(app); // fatal on an unknown benchmark
+    }
+    if (!spec.groups.empty() && !spec.cores.empty() &&
+        resolveSpecGroups(spec).empty()) {
+        COOPSIM_FATAL("the cores filter leaves no workload group (the "
+                      "groups axis resolves to none of the listed "
+                      "core counts)");
     }
     if (spec.layout == "schemes" && !spec.schemes.empty()) {
         bool found = false;
@@ -114,6 +135,25 @@ validateSpec(const ExperimentSpec &spec)
                           " is not in the spec's thresholds axis");
         }
     }
+    if (spec.layout == "partitioners") {
+        bool found = false;
+        for (const std::string &partitioner : spec.partitioners) {
+            found = found || partitioner == spec.baseline;
+        }
+        if (!found) {
+            COOPSIM_FATAL("baseline partitioner '", spec.baseline,
+                          "' is not in the spec's partitioners axis");
+        }
+    }
+    if ((spec.layout == "transfers" || spec.layout == "bandwidth") &&
+        spec.schemes.size() < 2) {
+        COOPSIM_FATAL("layout '", spec.layout,
+                      "' compares the first two schemes; the spec "
+                      "names ", spec.schemes.size());
+    }
+    if (spec.layout == "takeover" && spec.schemes.empty()) {
+        COOPSIM_FATAL("layout 'takeover' needs a scheme");
+    }
 }
 
 std::vector<trace::WorkloadGroup>
@@ -122,6 +162,17 @@ resolveSpecGroups(const ExperimentSpec &spec)
     std::vector<trace::WorkloadGroup> groups;
     for (const std::string &pattern : spec.groups) {
         for (trace::WorkloadGroup &group : resolveWorkloads(pattern)) {
+            if (!spec.cores.empty()) {
+                const auto size =
+                    static_cast<std::uint32_t>(group.apps.size());
+                bool keep = false;
+                for (const std::uint32_t cores : spec.cores) {
+                    keep = keep || cores == size;
+                }
+                if (!keep) {
+                    continue;
+                }
+            }
             groups.push_back(std::move(group));
         }
     }
@@ -146,6 +197,7 @@ expandSpec(const ExperimentSpec &spec)
         for (const std::string &scheme : spec.schemes) {
             for (const double threshold : spec.thresholds) {
                 for (const std::string &tmode : spec.threshold_modes) {
+                  for (const std::string &part : spec.partitioners) {
                     for (const std::string &policy : spec.repl) {
                         for (const std::string &gating : spec.gating) {
                             for (const std::uint64_t seed : spec.seeds) {
@@ -158,6 +210,8 @@ expandSpec(const ExperimentSpec &spec)
                                 key.threshold = threshold;
                                 key.threshold_mode =
                                     thresholdModeRegistry().get(tmode);
+                                key.partitioner =
+                                    partitionerRegistry().get(part);
                                 key.repl =
                                     replPolicyRegistry().get(policy);
                                 key.gating =
@@ -167,6 +221,7 @@ expandSpec(const ExperimentSpec &spec)
                             }
                         }
                     }
+                  }
                 }
             }
         }
@@ -188,6 +243,7 @@ expandSpec(const ExperimentSpec &spec)
                 key.threshold = 0.0;
                 key.threshold_mode =
                     partition::ThresholdMode::MissRatio;
+                key.partitioner = partition::Partitioner::Lookahead;
                 key.repl = replPolicyRegistry().get(policy);
                 key.gating = llc::GatingMode::GatedVdd;
                 key.seed = seed;
@@ -258,12 +314,20 @@ formatSpec(const ExperimentSpec &spec)
     line("groups", joinWords(spec.groups));
     {
         std::vector<std::string> words;
+        for (const std::uint32_t cores : spec.cores) {
+            words.push_back(std::to_string(cores));
+        }
+        line("cores", joinWords(words));
+    }
+    {
+        std::vector<std::string> words;
         for (const double t : spec.thresholds) {
             words.push_back(fmtDouble(t));
         }
         line("thresholds", joinWords(words));
     }
     line("threshold_modes", joinWords(spec.threshold_modes));
+    line("partitioners", joinWords(spec.partitioners));
     line("repl", joinWords(spec.repl));
     line("gating", joinWords(spec.gating));
     {
@@ -319,6 +383,12 @@ parseSpec(const std::string &text)
             spec.schemes = splitWords(value);
         } else if (key == "groups") {
             spec.groups = splitWords(value);
+        } else if (key == "cores") {
+            spec.cores.clear();
+            for (const std::string &word : splitWords(value)) {
+                spec.cores.push_back(static_cast<std::uint32_t>(
+                    parseUint(word, "cores")));
+            }
         } else if (key == "thresholds") {
             spec.thresholds.clear();
             for (const std::string &word : splitWords(value)) {
@@ -327,6 +397,8 @@ parseSpec(const std::string &text)
             }
         } else if (key == "threshold_modes") {
             spec.threshold_modes = splitWords(value);
+        } else if (key == "partitioners") {
+            spec.partitioners = splitWords(value);
         } else if (key == "repl") {
             spec.repl = splitWords(value);
         } else if (key == "gating") {
@@ -379,6 +451,7 @@ formatRunKey(const sim::RunKey &key)
     field("scale", scaleKeyOf(key.scale));
     field("threshold", fmtDouble(key.threshold));
     field("tmode", thresholdModeKeyOf(key.threshold_mode));
+    field("partitioner", partitionerKeyOf(key.partitioner));
     field("repl", replPolicyKeyOf(key.repl));
     field("gating", gatingModeKeyOf(key.gating));
     field("seed", std::to_string(key.seed));
@@ -433,6 +506,13 @@ tryParseRunKey(const std::string &line, sim::RunKey &out)
                 return false;
             }
             key.threshold_mode = *mode;
+        } else if (name == "partitioner") {
+            const partition::Partitioner *partitioner =
+                partitionerRegistry().find(value);
+            if (partitioner == nullptr) {
+                return false;
+            }
+            key.partitioner = *partitioner;
         } else if (name == "repl") {
             const cache::ReplPolicy *repl =
                 replPolicyRegistry().find(value);

@@ -4,8 +4,8 @@
  *
  * Every figure and table of the paper is a sweep over some subset of
  * the axes (scheme x workload group x threshold x threshold mode x
- * replacement policy x gating mode x seed) at one scale, rendered as a
- * normalised table. An ExperimentSpec names those axes by their
+ * partitioner x replacement policy x gating mode x seed) at one
+ * scale, rendered as a normalised table. An ExperimentSpec names those axes by their
  * registry keys (api/registry.hpp); expandSpec() turns the spec into
  * the cross-product of RunKeys the executor prefetches.
  *
@@ -46,11 +46,21 @@ struct ExperimentSpec
     std::string title;
 
     /**
-     * Table layout: "schemes" (rows = groups, columns = schemes,
-     * normalised to the baseline scheme — Figures 5-10) or
-     * "thresholds" (rows = groups, columns = threshold values,
-     * normalised to the baseline threshold — Figures 11-13). Specs
-     * driving custom printers use "none".
+     * Table layout:
+     *  - "schemes": rows = groups, columns = schemes, normalised to
+     *    the baseline scheme (Figures 5-10);
+     *  - "thresholds": columns = threshold values, normalised to the
+     *    baseline threshold (Figures 11-13);
+     *  - "partitioners": columns = partitioner names, normalised to
+     *    the baseline partitioner (the N-core scaling sweep);
+     *  - "takeover": the Figure 14 takeover-event breakdown of the
+     *    first scheme;
+     *  - "transfers": the Figure 15 way-transfer-time comparison of
+     *    the first two schemes;
+     *  - "bandwidth": the Figure 16 flush-traffic time series of the
+     *    first two schemes;
+     *  - "none": no built-in renderer (custom printers / single-cell
+     *    mode).
      */
     std::string layout = "schemes";
     /** Cell metric: a metric-registry name ("speedup",
@@ -69,8 +79,17 @@ struct ExperimentSpec
     std::vector<std::string> schemes = {"coop"};
     /** Group names or globs, expanded via the workload registry. */
     std::vector<std::string> groups;
+    /**
+     * Core-count filter over the resolved groups: when non-empty, only
+     * groups with that many applications survive (so `groups G2-* G4-*
+     * G8-*` + `cores 8` slices a sweep by topology without editing the
+     * group lists). Fatal when the filter empties a non-empty axis.
+     */
+    std::vector<std::uint32_t> cores;
     std::vector<double> thresholds = {0.05};
     std::vector<std::string> threshold_modes = {"missratio"};
+    /** Epoch way-allocation algorithms (partitioner registry). */
+    std::vector<std::string> partitioners = {"lookahead"};
     std::vector<std::string> repl = {"lru"};
     std::vector<std::string> gating = {"gatedvdd"};
     std::vector<std::uint64_t> seeds = {42};
@@ -94,9 +113,10 @@ resolveSpecGroups(const ExperimentSpec &spec);
 
 /**
  * Expands @p spec into the cross-product of RunKeys: one Group key
- * per (group x scheme x threshold x threshold_mode x repl x gating x
- * seed), followed by the deduplicated Solo keys (per-app baselines
- * when with_solo, plus the explicit solos axis). Deterministic order.
+ * per (group x scheme x threshold x threshold_mode x partitioner x
+ * repl x gating x seed), followed by the deduplicated Solo keys
+ * (per-app baselines when with_solo, plus the explicit solos axis).
+ * Deterministic order.
  */
 std::vector<sim::RunKey> expandSpec(const ExperimentSpec &spec);
 
@@ -125,7 +145,8 @@ ExperimentSpec parseSpecFile(const std::string &path);
 
 /** Canonical single-line RunKey encoding (the result-store merge
  *  key), e.g. "group scheme=coop name=G2-3 cores=2 scale=bench
- *  threshold=0.05 tmode=missratio repl=lru gating=gatedvdd seed=42". */
+ *  threshold=0.05 tmode=missratio partitioner=lookahead repl=lru
+ *  gating=gatedvdd seed=42". */
 std::string formatRunKey(const sim::RunKey &key);
 
 /** Parses formatRunKey() output; parseRunKey(formatRunKey(k)) == k. */

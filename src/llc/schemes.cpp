@@ -314,10 +314,11 @@ UcpLlc::epoch(Cycle now)
     BaseLlc::epoch(now);
 
     partition::LookaheadConfig lc;
-    lc.threshold = 0.0; // plain UCP look-ahead
+    lc.threshold = 0.0; // plain UCP: no turn-off threshold
     lc.min_ways_per_app = config_.min_ways_per_core;
-    const partition::Allocation next =
-        lookaheadPartition(monitors_.demands(), config_.geometry.ways, lc);
+    const partition::Allocation next = partition::decidePartition(
+        config_.partitioner, monitors_.demands(),
+        config_.geometry.ways, lc);
 
     if (next.ways != alloc_) {
         repartitions_.inc();
@@ -485,8 +486,8 @@ DynamicCpeLlc::epoch(Cycle now)
     partition::LookaheadConfig lc;
     lc.threshold = config_.cpe_gate_threshold;
     lc.min_ways_per_app = config_.min_ways_per_core;
-    const partition::Allocation next =
-        lookaheadPartition(demands, config_.geometry.ways, lc);
+    const partition::Allocation next = partition::decidePartition(
+        config_.partitioner, demands, config_.geometry.ways, lc);
 
     // Same confirmation damping as Cooperative — especially important
     // here, where every change flushes whole ways.
@@ -834,8 +835,8 @@ CooperativeLlc::epoch(Cycle now)
     lc.threshold = config_.threshold;
     lc.mode = config_.threshold_mode;
     lc.min_ways_per_app = config_.min_ways_per_core;
-    const partition::Allocation next =
-        lookaheadPartition(demands, config_.geometry.ways, lc);
+    const partition::Allocation next = partition::decidePartition(
+        config_.partitioner, demands, config_.geometry.ways, lc);
 
     // Logical current allocation: steady ways plus in-flight ways,
     // which already belong to their recipient (it holds RAP+WAP).

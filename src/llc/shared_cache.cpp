@@ -49,8 +49,13 @@ BaseLlc::BaseLlc(const LlcConfig &config, mem::DramModel &dram,
       flush_series_(config.flush_series_bin, config.flush_series_bins)
 {
     COOPSIM_ASSERT(config.num_cores > 0, "LLC with no cores");
-    COOPSIM_ASSERT(config.geometry.ways >= config.num_cores,
-                   "fewer ways than cores");
+    if (config.geometry.ways < config.num_cores) {
+        COOPSIM_FATAL("LLC geometry ", config.geometry.size_bytes,
+                      " B / ", config.geometry.ways, "-way / ",
+                      config.geometry.block_bytes,
+                      " B blocks cannot host ", config.num_cores,
+                      " cores: way partitioning needs ways >= cores");
+    }
 }
 
 void

@@ -27,7 +27,7 @@
 #include "common/types.hpp"
 #include "energy/accounting.hpp"
 #include "mem/dram.hpp"
-#include "partition/lookahead.hpp"
+#include "partition/partitioner.hpp"
 
 namespace coopsim::llc
 {
@@ -74,6 +74,10 @@ struct LlcConfig
     double threshold = 0.05;
     partition::ThresholdMode threshold_mode =
         partition::ThresholdMode::MissRatio;
+    /** Way-allocation algorithm the epoch decision runs (UCP, CPE and
+     *  Cooperative; see partition/partitioner.hpp). */
+    partition::Partitioner partitioner =
+        partition::Partitioner::Lookahead;
     /** Gating threshold used by Dynamic CPE's profile allocator
      *  (slightly laxer than Cooperative's T, so CPE gates a little
      *  less aggressively, as in the paper's Figures 7/10). */

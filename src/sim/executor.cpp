@@ -47,11 +47,11 @@ unsigned g_initial_threads = 0;
 SystemConfig
 configOf(const RunKey &key)
 {
-    SystemConfig config = key.num_cores <= 2
-                              ? makeTwoCoreConfig(key.scheme, key.scale)
-                              : makeFourCoreConfig(key.scheme, key.scale);
+    SystemConfig config =
+        makeSystemConfig(key.num_cores, key.scheme, key.scale);
     config.llc.threshold = key.threshold;
     config.llc.threshold_mode = key.threshold_mode;
+    config.llc.partitioner = key.partitioner;
     config.llc.repl = key.repl;
     config.llc.gating = key.gating;
     config.seed = key.seed;
@@ -83,6 +83,7 @@ RunKeyHash::operator()(const RunKey &key) const
     std::memcpy(&threshold_bits, &threshold, sizeof(threshold_bits));
     h = mix(h, threshold_bits);
     h = mix(h, static_cast<std::uint64_t>(key.threshold_mode));
+    h = mix(h, static_cast<std::uint64_t>(key.partitioner));
     h = mix(h, static_cast<std::uint64_t>(key.repl));
     h = mix(h, static_cast<std::uint64_t>(key.gating));
     h = mix(h, key.seed);
@@ -140,11 +141,14 @@ RunExecutor::instance()
     // tables are still alive.
     trace::twoCoreGroups();
     trace::fourCoreGroups();
+    trace::eightCoreGroups();
+    trace::sixteenCoreGroups();
     trace::specProfile(trace::allSpecApps().front());
     api::schemeRegistry();
     api::replPolicyRegistry();
     api::gatingModeRegistry();
     api::thresholdModeRegistry();
+    api::partitionerRegistry();
     api::scaleRegistry();
     api::workloadRegistry();
     static RunExecutor executor(g_initial_threads);

@@ -70,14 +70,19 @@ struct RunKey
      *  registration); the string key is what lets extensions run
      *  through the executor without growing an enum. */
     std::string scheme = "coop";
-    /** Group name ("G2-3") or solo app name ("h264ref"). */
+    /** Group name ("G2-3", "G8-mix1") or solo app name ("h264ref"). */
     std::string name;
-    /** Geometry selector: 2 or 4 (solo runs shrink it to one core). */
+    /** Topology selector: the core count whose table row (2/4/8/16)
+     *  sizes the LLC (solo runs shrink the core count to one but keep
+     *  the geometry of the system they will later share). */
     std::uint32_t num_cores = 2;
     RunScale scale = RunScale::Bench;
     double threshold = 0.05;
     partition::ThresholdMode threshold_mode =
         partition::ThresholdMode::MissRatio;
+    /** Epoch way-allocation algorithm (partitioner registry). */
+    partition::Partitioner partitioner =
+        partition::Partitioner::Lookahead;
     cache::ReplPolicy repl = cache::ReplPolicy::Lru;
     llc::GatingMode gating = llc::GatingMode::GatedVdd;
     std::uint64_t seed = 42;

@@ -19,6 +19,7 @@ groupKey(llc::Scheme scheme, const trace::WorkloadGroup &group,
     key.scale = options.scale;
     key.threshold = options.threshold;
     key.threshold_mode = options.threshold_mode;
+    key.partitioner = options.partitioner;
     key.repl = options.repl;
     key.gating = options.gating;
     key.seed = options.seed;
@@ -31,7 +32,8 @@ soloKey(const std::string &app, std::uint32_t num_cores,
 {
     // Solo runs are scheme-independent (always the unmanaged LLC), so
     // the scheme-only option fields are normalised away: a threshold
-    // sweep reuses one solo run per (app, geometry, scale, seed, repl).
+    // or partitioner sweep reuses one solo run per (app, geometry,
+    // scale, seed, repl).
     RunKey key;
     key.kind = RunKey::Kind::Solo;
     key.scheme = "unmanaged";
@@ -40,6 +42,7 @@ soloKey(const std::string &app, std::uint32_t num_cores,
     key.scale = options.scale;
     key.threshold = 0.0;
     key.threshold_mode = partition::ThresholdMode::MissRatio;
+    key.partitioner = partition::Partitioner::Lookahead;
     key.repl = options.repl;
     key.gating = llc::GatingMode::GatedVdd;
     key.seed = options.seed;

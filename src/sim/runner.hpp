@@ -40,6 +40,9 @@ struct RunOptions
     double threshold = 0.05;
     partition::ThresholdMode threshold_mode =
         partition::ThresholdMode::MissRatio;
+    /** Epoch way-allocation algorithm (scaling_cores sweep). */
+    partition::Partitioner partitioner =
+        partition::Partitioner::Lookahead;
     /** Intra-partition victim policy (ablation_replacement). */
     cache::ReplPolicy repl = cache::ReplPolicy::Lru;
     /** Static-saving mechanism for unowned ways (ext_drowsy). */

@@ -1,9 +1,11 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "api/registry.hpp"
 #include "common/logging.hpp"
+#include "sim/min_clock_tree.hpp"
 
 namespace coopsim::sim
 {
@@ -59,42 +61,49 @@ applyScale(SystemConfig &config, RunScale scale)
 
 } // namespace
 
-SystemConfig
-makeTwoCoreConfig(const std::string &scheme, RunScale scale)
+const std::vector<Topology> &
+topologyTable()
 {
+    static const std::vector<Topology> table = {
+        {2, 2ull << 20, 8, 15},   // paper Table 2
+        {4, 4ull << 20, 16, 20},  // paper Table 2
+        {8, 8ull << 20, 32, 25},  // extrapolated (1 MB, 4 ways/core)
+        {16, 16ull << 20, 64, 30},
+    };
+    return table;
+}
+
+SystemConfig
+makeSystemConfig(std::uint32_t num_cores, const std::string &scheme,
+                 RunScale scale)
+{
+    if (num_cores == 0) {
+        COOPSIM_FATAL("system with no cores");
+    }
+    const std::vector<Topology> &table = topologyTable();
+    const Topology *row = nullptr;
+    for (const Topology &t : table) {
+        if (t.max_cores >= num_cores) {
+            row = &t;
+            break;
+        }
+    }
+    if (row == nullptr) {
+        COOPSIM_FATAL("no topology for ", num_cores,
+                      " cores (largest table row serves ",
+                      table.back().max_cores, ")");
+    }
+    COOPSIM_ASSERT(row->llc_ways >= num_cores,
+                   "topology row with fewer ways than cores");
+
     SystemConfig config;
     config.scheme = scheme;
-    config.num_cores = 2;
-    config.llc.geometry = {2ull << 20, 8, 64};
-    config.llc.num_cores = 2;
-    config.llc.hit_latency = 15;
+    config.num_cores = num_cores;
+    config.llc.geometry = {row->llc_bytes, row->llc_ways, 64};
+    config.llc.num_cores = num_cores;
+    config.llc.hit_latency = row->hit_latency;
     applyScale(config, scale);
     return config;
-}
-
-SystemConfig
-makeFourCoreConfig(const std::string &scheme, RunScale scale)
-{
-    SystemConfig config;
-    config.scheme = scheme;
-    config.num_cores = 4;
-    config.llc.geometry = {4ull << 20, 16, 64};
-    config.llc.num_cores = 4;
-    config.llc.hit_latency = 20;
-    applyScale(config, scale);
-    return config;
-}
-
-SystemConfig
-makeTwoCoreConfig(llc::Scheme scheme, RunScale scale)
-{
-    return makeTwoCoreConfig(api::schemeKeyOf(scheme), scale);
-}
-
-SystemConfig
-makeFourCoreConfig(llc::Scheme scheme, RunScale scale)
-{
-    return makeFourCoreConfig(api::schemeKeyOf(scheme), scale);
 }
 
 System::System(const SystemConfig &config,
@@ -143,28 +152,36 @@ System::run()
 
     // The global-order event loop picks the laggard core before every
     // step, so min_core() dominates the driver. Core clocks are mirrored
-    // into a dense local array (no unique_ptr chase per comparison),
-    // only the stepped core's mirror is refreshed, and the ubiquitous
-    // two-core configuration reduces to a single compare.
+    // into a dense local array (no unique_ptr chase per comparison) and
+    // only the stepped core's mirror is refreshed. The ubiquitous
+    // two-core configuration reduces to a single compare; larger
+    // systems keep the minimum in a tournament tree (O(log n) per
+    // step, ties to the lowest index — bit-identical to a linear scan).
     std::vector<Cycle> clock(n);
     for (std::uint32_t c = 0; c < n; ++c) {
         clock[c] = cores_[c]->cycle();
+    }
+    // The tree exists only when it is consulted; the 1/2-core paths
+    // never touch it (and must not — it would go stale).
+    std::optional<MinClockTree> tree;
+    if (n > 2) {
+        tree.emplace(clock);
     }
     auto min_core = [&]() -> std::uint32_t {
         if (n == 2) {
             return clock[1] < clock[0] ? 1u : 0u;
         }
-        std::uint32_t best = 0;
-        for (std::uint32_t c = 1; c < n; ++c) {
-            if (clock[c] < clock[best]) {
-                best = c;
-            }
+        if (n == 1) {
+            return 0u;
         }
-        return best;
+        return tree->minIndex();
     };
     auto step = [&](std::uint32_t c) {
         cores_[c]->step();
         clock[c] = cores_[c]->cycle();
+        if (tree) {
+            tree->update(c, clock[c]);
+        }
     };
 
     // ---- Warm-up: run until every core retired warmup_insts. ------------

@@ -57,19 +57,34 @@ struct SystemConfig
 };
 
 /**
- * Builds the paper's two-core configuration (Table 2): 2 MB 8-way LLC,
- * 15-cycle latency. @p scheme is a scheme-registry name.
+ * One row of the topology table: the LLC organisation a core count
+ * runs on. The 2- and 4-core rows are the paper's Table 2; the larger
+ * rows extrapolate its scaling rule (double capacity and associativity
+ * per doubling of cores, +5 cycles of hit latency per step), keeping
+ * 1 MB and 4 ways of LLC per core throughout.
  */
-SystemConfig makeTwoCoreConfig(const std::string &scheme,
-                               RunScale scale);
+struct Topology
+{
+    /** Largest core count this row serves (lookups round up). */
+    std::uint32_t max_cores;
+    std::uint64_t llc_bytes;
+    std::uint32_t llc_ways;
+    Tick hit_latency;
+};
 
-/** The paper's four-core configuration: 4 MB 16-way, 20-cycle. */
-SystemConfig makeFourCoreConfig(const std::string &scheme,
-                                RunScale scale);
+/** The topology table, ascending in max_cores (2, 4, 8, 16). */
+const std::vector<Topology> &topologyTable();
 
-/** Deprecated shims: enum-addressed configs (pre-registry API). */
-SystemConfig makeTwoCoreConfig(llc::Scheme scheme, RunScale scale);
-SystemConfig makeFourCoreConfig(llc::Scheme scheme, RunScale scale);
+/**
+ * Builds the configuration of an @p num_cores-core system: LLC
+ * geometry and hit latency come from the topology table row covering
+ * @p num_cores (the smallest row with max_cores >= num_cores, so a
+ * 3-core system runs on the 4-core organisation). Fatal when the
+ * table has no row that large; asserts ways >= cores. @p scheme is a
+ * scheme-registry name.
+ */
+SystemConfig makeSystemConfig(std::uint32_t num_cores,
+                              const std::string &scheme, RunScale scale);
 
 /** Per-application results of a run. */
 struct AppResult

@@ -1,5 +1,8 @@
 #include "trace/workloads.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.hpp"
 
 namespace coopsim::trace
@@ -49,17 +52,115 @@ fourCoreGroups()
     return groups;
 }
 
+namespace
+{
+
+/** @p count names drawn cyclically from @p pool, starting at
+ *  @p offset. Pools smaller than @p count repeat (see file comment on
+ *  co-running copies). */
+std::vector<std::string>
+drawCyclic(const std::vector<std::string> &pool, std::uint32_t count,
+           std::size_t offset)
+{
+    COOPSIM_ASSERT(!pool.empty(), "empty workload tier pool");
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        out.push_back(pool[(offset + i) % pool.size()]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<WorkloadGroup>
+heterogeneousMixes(std::uint32_t num_apps)
+{
+    COOPSIM_ASSERT(num_apps > 0, "mix with no applications");
+
+    // Tier membership from the Table 3 MPKI classes, in table order.
+    std::vector<std::string> high;
+    std::vector<std::string> medium;
+    std::vector<std::string> low;
+    for (const std::string &app : allSpecApps()) {
+        switch (mpkiClassOf(app)) {
+          case MpkiClass::High:
+            high.push_back(app);
+            break;
+          case MpkiClass::Medium:
+            medium.push_back(app);
+            break;
+          case MpkiClass::Low:
+            low.push_back(app);
+            break;
+        }
+    }
+
+    // mem pool: every high-MPKI app, then the medium tier as padding.
+    std::vector<std::string> mem_pool = high;
+    mem_pool.insert(mem_pool.end(), medium.begin(), medium.end());
+    // cpu pool: the low tier only.
+    const std::vector<std::string> &cpu_pool = low;
+    // mix pool: tiers interleaved high, medium, low, high, ...
+    std::vector<std::string> mix_pool;
+    const std::size_t longest =
+        std::max({high.size(), medium.size(), low.size()});
+    for (std::size_t i = 0; i < longest; ++i) {
+        for (const std::vector<std::string> *tier :
+             {&high, &medium, &low}) {
+            if (i < tier->size()) {
+                mix_pool.push_back((*tier)[i]);
+            }
+        }
+    }
+
+    // Two variants per tier; the second starts deeper into the pool so
+    // the mixes overlap without being permutations of each other.
+    std::string prefix = "G";
+    prefix += std::to_string(num_apps);
+    prefix += "-";
+    std::vector<WorkloadGroup> groups;
+    for (const auto &[tier, pool] :
+         {std::pair<const char *, const std::vector<std::string> &>{
+              "mem", mem_pool},
+          {"cpu", cpu_pool},
+          {"mix", mix_pool}}) {
+        for (std::uint32_t variant = 1; variant <= 2; ++variant) {
+            const std::size_t offset =
+                (variant - 1) * (pool.size() / 2);
+            groups.push_back(
+                {prefix + tier + std::to_string(variant),
+                 drawCyclic(pool, num_apps, offset)});
+        }
+    }
+    return groups;
+}
+
+const std::vector<WorkloadGroup> &
+eightCoreGroups()
+{
+    static const std::vector<WorkloadGroup> groups =
+        heterogeneousMixes(8);
+    return groups;
+}
+
+const std::vector<WorkloadGroup> &
+sixteenCoreGroups()
+{
+    static const std::vector<WorkloadGroup> groups =
+        heterogeneousMixes(16);
+    return groups;
+}
+
 const WorkloadGroup &
 groupByName(const std::string &name)
 {
-    for (const auto &g : twoCoreGroups()) {
-        if (g.name == name) {
-            return g;
-        }
-    }
-    for (const auto &g : fourCoreGroups()) {
-        if (g.name == name) {
-            return g;
+    for (const auto *groups : {&twoCoreGroups(), &fourCoreGroups(),
+                               &eightCoreGroups(), &sixteenCoreGroups()}) {
+        for (const auto &g : *groups) {
+            if (g.name == name) {
+                return g;
+            }
         }
     }
     COOPSIM_FATAL("unknown workload group: ", name);

@@ -1,12 +1,28 @@
 /**
  * @file
- * The paper's Table 4 workload groups: fourteen two-application and
- * fourteen four-application mixes of the Table 3 benchmarks.
+ * Workload groups: the paper's Table 4 mixes (fourteen two-application
+ * and fourteen four-application groups of the Table 3 benchmarks) plus
+ * generated 8- and 16-application heterogeneous mixes that scale the
+ * evaluation beyond the paper's core counts.
+ *
+ * The generated groups are built deterministically from the Table 3
+ * MPKI classification, two per tier and core count:
+ *
+ *  - G{8,16}-mem*: memory-heavy — high-MPKI apps first, padded from
+ *    the medium tier;
+ *  - G{8,16}-cpu*: cpu-heavy — low-MPKI (mostly L1-resident) apps;
+ *  - G{8,16}-mix*: mixed — high/medium/low tiers interleaved.
+ *
+ * A 16-application mix cycles through its tier pool, so an app may
+ * appear on several cores; co-running copies are distinct workloads
+ * (each core's stream has its own address-space tag and seed), exactly
+ * like running two instances of the same benchmark.
  */
 
 #ifndef COOPSIM_TRACE_WORKLOADS_HPP
 #define COOPSIM_TRACE_WORKLOADS_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,10 +31,10 @@
 namespace coopsim::trace
 {
 
-/** One workload group (a row of Table 4). */
+/** One workload group (a row of Table 4 or a generated mix). */
 struct WorkloadGroup
 {
-    std::string name;                   //!< e.g. "G2-3"
+    std::string name;                   //!< e.g. "G2-3", "G8-mix1"
     std::vector<std::string> apps;      //!< benchmark names
 };
 
@@ -28,7 +44,23 @@ const std::vector<WorkloadGroup> &twoCoreGroups();
 /** All four-application groups, G4-1 .. G4-14. */
 const std::vector<WorkloadGroup> &fourCoreGroups();
 
-/** Finds a group by name ("G2-7", "G4-13"); fatal() if unknown. */
+/** The generated eight-application mixes, G8-mem1 .. G8-mix2. */
+const std::vector<WorkloadGroup> &eightCoreGroups();
+
+/** The generated sixteen-application mixes, G16-mem1 .. G16-mix2. */
+const std::vector<WorkloadGroup> &sixteenCoreGroups();
+
+/**
+ * Generates the heterogeneous @p num_apps-application mixes described
+ * in the file comment (mem/cpu/mix, two variants each). Deterministic:
+ * tier membership comes from mpkiClassOf() over the Table 3 apps in
+ * table order, and variants differ only by a rotation offset into the
+ * tier pools. Any num_apps >= 1 is accepted; 8 and 16 are the
+ * pre-registered G8/G16 groups.
+ */
+std::vector<WorkloadGroup> heterogeneousMixes(std::uint32_t num_apps);
+
+/** Finds a group by name ("G2-7", "G8-mix1"); fatal() if unknown. */
 const WorkloadGroup &groupByName(const std::string &name);
 
 /** Resolves a group's profiles. */

@@ -204,11 +204,13 @@ TEST(SpecEncoding, FormatParseRoundTripsEveryField)
     spec.higher_better = false;
     spec.with_solo = false;
     spec.schemes = {"coop", "ucp"};
-    spec.groups = {"G2-*", "G4-3"};
+    spec.groups = {"G2-*", "G4-3", "G8-*"};
+    spec.cores = {2, 8};
     // 1/3 and 0.1 are not exactly representable in binary64; the
     // encoding must still round-trip them bit-exactly.
     spec.thresholds = {0.0, 1.0 / 3.0, 0.1};
     spec.threshold_modes = {"paperliteral", "missratio"};
+    spec.partitioners = {"greedy", "equalshare"};
     spec.repl = {"mru", "random"};
     spec.gating = {"drowsy"};
     spec.seeds = {0, 18446744073709551615ull};
@@ -247,6 +249,7 @@ TEST(RunKeyEncoding, GroupAndSoloKeysRoundTrip)
     options.scale = sim::RunScale::Test;
     options.threshold = 1.0 / 3.0;
     options.threshold_mode = partition::ThresholdMode::PaperLiteral;
+    options.partitioner = partition::Partitioner::GreedyUtility;
     options.repl = cache::ReplPolicy::Mru;
     options.gating = llc::GatingMode::Drowsy;
     options.seed = 1234567890123456789ull;

@@ -13,7 +13,7 @@ using namespace coopsim::sim;
 TEST(SystemConfigs, TwoCoreMatchesPaperTable2)
 {
     const SystemConfig c =
-        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Paper);
+        makeSystemConfig(2, "coop", RunScale::Paper);
     EXPECT_EQ(c.num_cores, 2u);
     EXPECT_EQ(c.llc.geometry.size_bytes, 2ull << 20);
     EXPECT_EQ(c.llc.geometry.ways, 8u);
@@ -33,7 +33,7 @@ TEST(SystemConfigs, TwoCoreMatchesPaperTable2)
 TEST(SystemConfigs, FourCoreMatchesPaperTable2)
 {
     const SystemConfig c =
-        makeFourCoreConfig(llc::Scheme::Ucp, RunScale::Paper);
+        makeSystemConfig(4, "ucp", RunScale::Paper);
     EXPECT_EQ(c.num_cores, 4u);
     EXPECT_EQ(c.llc.geometry.size_bytes, 4ull << 20);
     EXPECT_EQ(c.llc.geometry.ways, 16u);
@@ -43,9 +43,9 @@ TEST(SystemConfigs, FourCoreMatchesPaperTable2)
 TEST(SystemConfigs, ReducedScalesShrinkSetsNotWays)
 {
     const SystemConfig paper =
-        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Paper);
+        makeSystemConfig(2, "coop", RunScale::Paper);
     const SystemConfig bench =
-        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Bench);
+        makeSystemConfig(2, "coop", RunScale::Bench);
     EXPECT_EQ(bench.llc.geometry.ways, paper.llc.geometry.ways);
     EXPECT_LT(bench.llc.geometry.size_bytes,
               paper.llc.geometry.size_bytes);
@@ -134,7 +134,7 @@ TEST(Runner, SoloIpcIsPositiveAndCached)
 TEST(System, RunProducesConsistentResults)
 {
     SystemConfig config =
-        makeTwoCoreConfig(llc::Scheme::Cooperative, RunScale::Test);
+        makeSystemConfig(2, "coop", RunScale::Test);
     System system(config, trace::groupProfiles(
                               trace::groupByName("G2-10")));
     const RunResult result = system.run();
@@ -158,7 +158,7 @@ TEST(System, RunProducesConsistentResults)
 TEST(System, DeterministicAcrossIdenticalRuns)
 {
     SystemConfig config =
-        makeTwoCoreConfig(llc::Scheme::Ucp, RunScale::Test);
+        makeSystemConfig(2, "ucp", RunScale::Test);
     const auto profiles =
         trace::groupProfiles(trace::groupByName("G2-11"));
     System a(config, profiles);
@@ -176,7 +176,7 @@ TEST(System, DeterministicAcrossIdenticalRuns)
 TEST(System, SeedChangesTheRun)
 {
     SystemConfig config =
-        makeTwoCoreConfig(llc::Scheme::FairShare, RunScale::Test);
+        makeSystemConfig(2, "fairshare", RunScale::Test);
     const auto profiles =
         trace::groupProfiles(trace::groupByName("G2-11"));
     System a(config, profiles);
@@ -189,7 +189,7 @@ TEST(System, MismatchedAppCountIsFatal)
 {
     setThrowOnFatal(true);
     SystemConfig config =
-        makeTwoCoreConfig(llc::Scheme::FairShare, RunScale::Test);
+        makeSystemConfig(2, "fairshare", RunScale::Test);
     EXPECT_THROW(System(config, {trace::specProfile("lbm")}),
                  FatalError);
     setThrowOnFatal(false);
@@ -198,7 +198,7 @@ TEST(System, MismatchedAppCountIsFatal)
 TEST(System, FourCoreRunsToCompletion)
 {
     SystemConfig config =
-        makeFourCoreConfig(llc::Scheme::Cooperative, RunScale::Test);
+        makeSystemConfig(4, "coop", RunScale::Test);
     System system(config, trace::groupProfiles(
                               trace::groupByName("G4-3")));
     const RunResult result = system.run();
