@@ -8,20 +8,35 @@
  *     bit-scan way iteration accelerates (a linear 0..63 scan is timed
  *     alongside as the reference the optimisation replaced),
  *  2. UMON ATD accesses with a full (sample_period = 1) directory, the
- *     per-access cost the incremental recency ordering shaved, and
- *  3. end-to-end sweep throughput: the complete fig05-fig16 simulation
+ *     per-access cost the incremental recency ordering shaved,
+ *  3. the event-loop driver itself: net arbitration + dispatch cost
+ *     per step (run_step_ns) for the pre-batching per-op loop versus
+ *     the batched-quantum loop, with an identical-sequence no-driver
+ *     replay subtracted as the op-work baseline (see benchDriverCost),
+ *  4. one complete bench-scale reference run (coop / G4-1) end to end
+ *     under both driver modes — wall seconds, per-op cost, and the
+ *     average quantum length actually achieved (quantum_avg_ops; the
+ *     CI hotpath-smoke leg asserts it exceeds 1), with the two modes'
+ *     results checked bit-identical — and
+ *  5. end-to-end sweep throughput: the complete fig05-fig16 simulation
  *     key set executed serially on one thread versus through the
  *     parallel RunExecutor.
  *
  * Results are printed and written to BENCH_hotpath.json (overwritten
  * per run; the committed copy at the repo root is the recorded
- * measurement tracking the trajectory from PR to PR). No
+ * measurement tracking the trajectory from PR to PR). The JSON also
+ * records host metadata — core count, compiler, git revision — so
+ * numbers recorded in different PRs are comparable. No
  * google-benchmark dependency: plain steady_clock loops, so this
  * always builds.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +45,10 @@
 
 #include "cache/cache.hpp"
 #include "common/rng.hpp"
+#include "sim/min_clock_tree.hpp"
+#include "sim/system.hpp"
+#include "store/result_store.hpp"
+#include "trace/workloads.hpp"
 #include "umon/umon.hpp"
 
 using namespace coopsim;
@@ -159,6 +178,408 @@ benchUmonAccess(std::uint64_t &checksum)
     return ns;
 }
 
+// ---------------------------------------------------------------------------
+// Driver arbitration + dispatch cost
+
+struct DriverCost
+{
+    /** Whole-loop ns/step of each driver flavour. */
+    double perop_loop_ns = 0.0;
+    double batched_loop_ns = 0.0;
+    /** Op production + execution alone (no arbitration, no per-op
+     *  delivery): the part of each loop that is NOT the driver. */
+    double baseline_ns = 0.0;
+    double quantum_avg_ops = 0.0;
+
+    /** Net per-step driver + dispatch cost of each flavour. */
+    double peropNs() const { return perop_loop_ns - baseline_ns; }
+    double batchedNs() const { return batched_loop_ns - baseline_ns; }
+};
+
+/**
+ * Phase geometry shared by the two cost streams below: both walk the
+ * identical LCG op sequence and the identical phase schedule, so the
+ * driver loops built on them execute the same global step sequence —
+ * they differ only in WHEN the phase/gap parameters are (re)computed
+ * and how ops are delivered.
+ */
+constexpr std::uint64_t kDriverBenchPhaseInsts = 1u << 20;
+
+/**
+ * Op production with the pre-batching tree's per-op costs: every op
+ * pays the phase selection (an integer division on the instruction
+ * count), the geometric-gap setup (a log1p call — the seed generator
+ * recomputed log1p(-p) on every draw), and a virtual delivery into
+ * the core. These are exactly the per-op overheads this PR hoisted
+ * (SyntheticStream's cached phase/CDF/log1p state, TraceCore's op
+ * ring buffer), reproduced in isolation.
+ */
+class SeedCostStream final : public core::OpStream
+{
+  public:
+    explicit SeedCostStream(std::uint64_t seed) : x_(seed) {}
+
+    core::MemOp next() override
+    {
+        const std::uint64_t phase = insts_ / kDriverBenchPhaseInsts;
+        const double p = (phase % 2 == 0) ? 0.01 : 0.03;
+        gap_setup_ += std::log1p(-p);
+        x_ = x_ * 6364136223846793005ull + 1442695040888963407ull;
+        core::MemOp op;
+        op.addr = x_;
+        insts_ += 1 + (x_ & 63);
+        return op;
+    }
+
+    /** Keeps the transcendental from being dead-code-eliminated. */
+    double gapSetup() const { return gap_setup_; }
+
+  private:
+    std::uint64_t x_;
+    std::uint64_t insts_ = 0;
+    double gap_setup_ = 0.0;
+};
+
+/**
+ * The same op sequence produced the shipped way: phase parameters are
+ * cached and refreshed only when the instruction count crosses the
+ * phase boundary, and ops are delivered in nextBatch() batches.
+ */
+class BatchedCostStream final : public core::OpStream
+{
+  public:
+    explicit BatchedCostStream(std::uint64_t seed) : x_(seed)
+    {
+        refreshPhase();
+    }
+
+    core::MemOp next() override { return generate(); }
+
+    std::size_t nextBatch(core::MemOp *out, std::size_t max) override
+    {
+        for (std::size_t i = 0; i < max; ++i) {
+            out[i] = generate();
+        }
+        return max;
+    }
+
+    double gapSetup() const { return gap_setup_; }
+
+  private:
+    void refreshPhase()
+    {
+        const std::uint64_t phase = insts_ / kDriverBenchPhaseInsts;
+        const double p = (phase % 2 == 0) ? 0.01 : 0.03;
+        cached_log_ = std::log1p(-p);
+        phase_switch_ = (phase + 1) * kDriverBenchPhaseInsts;
+    }
+
+    core::MemOp generate()
+    {
+        if (insts_ >= phase_switch_) {
+            refreshPhase();
+        }
+        gap_setup_ += cached_log_;
+        x_ = x_ * 6364136223846793005ull + 1442695040888963407ull;
+        core::MemOp op;
+        op.addr = x_;
+        insts_ += 1 + (x_ & 63);
+        return op;
+    }
+
+    std::uint64_t x_;
+    std::uint64_t insts_ = 0;
+    std::uint64_t phase_switch_ = 0;
+    double cached_log_ = 0.0;
+    double gap_setup_ = 0.0;
+};
+
+/** A core model reduced to the driver-facing surface of TraceCore:
+ *  the clock advance per op is a cheap hash of the op. */
+struct DriverBenchCore
+{
+    core::OpStream &stream;
+    Cycle cycle = 0;
+    std::array<core::MemOp, 64> buf{};
+    std::size_t pos = 0;
+    std::size_t len = 0;
+
+    void apply(const core::MemOp &op)
+    {
+        // Advance shape of the real core model: width-limited
+        // retirement of short gaps, punctuated by DRAM-latency stalls
+        // on (roughly) every eighth op. This reproduces the measured
+        // ~4-op average quantum of the paper's two-core runs.
+        const std::uint64_t h = op.addr >> 32;
+        cycle += 4 + (h & 7);
+        if ((h & 0x700) == 0) {
+            cycle += 160 + (h & 127);
+        }
+    }
+
+    /** The seed tree's per-op dispatch: one out-of-line call into the
+     *  core, one virtual OpStream::next() per op. */
+    __attribute__((noinline)) void stepPerOp() { apply(stream.next()); }
+
+    /** The batched dispatch: one out-of-line call per quantum, ops
+     *  pulled from the ring buffer (one virtual call per 64). */
+    __attribute__((noinline)) std::uint64_t stepQuantum(Cycle bound)
+    {
+        std::uint64_t ops = 0;
+        do {
+            if (pos == len) {
+                len = stream.nextBatch(buf.data(), buf.size());
+                pos = 0;
+            }
+            apply(buf[pos++]);
+            ++ops;
+        } while (cycle < bound);
+        return ops;
+    }
+};
+
+/**
+ * The per-step driver + dispatch cost of System::run(), isolated.
+ *
+ * Three loops run the identical global op sequence (final clocks are
+ * cross-checked):
+ *
+ *  - per-op: the pre-batching event loop — tree consult + update and
+ *    an out-of-line core step with a virtual stream access (plus the
+ *    seed generator's per-op phase division and log1p gap setup) for
+ *    every single op;
+ *  - batched: the shipped loop — arbitration once per second-minimum
+ *    quantum, ops delivered from the ring buffer, phase/gap state
+ *    cached;
+ *  - baseline: op production + execution with no driver at all (each
+ *    core's ops replayed straight), measuring the work that is NOT
+ *    driver or dispatch.
+ *
+ * run_step_ns = batched − baseline and run_step_perop_ns = per-op −
+ * baseline are therefore the net driver+dispatch cost per step of the
+ * two designs — the acceptance numbers.
+ */
+DriverCost
+benchDriverCost(std::uint64_t &checksum)
+{
+    constexpr std::uint32_t kCores = 2;
+    constexpr Cycle kHorizon = 1u << 27;
+
+    DriverCost times;
+    Cycle perop_sum = 0;
+    std::uint64_t perop_steps = 0;
+    std::vector<std::uint64_t> steps_per_core(kCores, 0);
+    {
+        std::vector<SeedCostStream> streams;
+        std::vector<DriverBenchCore> cores;
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            streams.emplace_back(0x9e3779b9ull * (c + 1));
+        }
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            cores.push_back(DriverBenchCore{streams[c]});
+        }
+        std::vector<Cycle> clock(kCores, 0);
+        sim::MinClockTree tree(clock);
+        const auto t0 = Clock::now();
+        for (;;) {
+            const std::uint32_t c = tree.minIndex();
+            if (clock[c] >= kHorizon) {
+                break;
+            }
+            cores[c].stepPerOp();
+            clock[c] = cores[c].cycle;
+            tree.update(c, clock[c]);
+            ++steps_per_core[c];
+            ++perop_steps;
+        }
+        times.perop_loop_ns =
+            seconds(t0, Clock::now()) * 1e9 /
+            static_cast<double>(perop_steps);
+        perop_sum = std::accumulate(clock.begin(), clock.end(), Cycle{0});
+        checksum += streams[0].gapSetup() < 0.0 ? 1 : 0;
+    }
+    Cycle batched_sum = 0;
+    std::uint64_t batched_steps = 0;
+    std::uint64_t batched_quanta = 0;
+    {
+        std::vector<BatchedCostStream> streams;
+        std::vector<DriverBenchCore> cores;
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            streams.emplace_back(0x9e3779b9ull * (c + 1));
+        }
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            cores.push_back(DriverBenchCore{streams[c]});
+        }
+        std::vector<Cycle> clock(kCores, 0);
+        sim::MinClockTree tree(clock);
+        const auto t0 = Clock::now();
+        for (;;) {
+            const std::uint32_t c = tree.minIndex();
+            if (clock[c] >= kHorizon) {
+                break;
+            }
+            const sim::MinClockTree::Second second = tree.secondBest();
+            const Cycle bound = c < second.index ? second.clock + 1
+                                                 : second.clock;
+            batched_steps +=
+                cores[c].stepQuantum(std::min(bound, kHorizon));
+            ++batched_quanta;
+            clock[c] = cores[c].cycle;
+            tree.update(c, clock[c]);
+        }
+        times.batched_loop_ns =
+            seconds(t0, Clock::now()) * 1e9 /
+            static_cast<double>(batched_steps);
+        times.quantum_avg_ops =
+            static_cast<double>(batched_steps) /
+            static_cast<double>(batched_quanta);
+        batched_sum =
+            std::accumulate(clock.begin(), clock.end(), Cycle{0});
+        checksum += streams[0].gapSetup() < 0.0 ? 1 : 0;
+    }
+    if (perop_sum != batched_sum || perop_steps != batched_steps) {
+        std::fprintf(stderr,
+                     "FATAL: per-op/batched driver loops diverged "
+                     "(clock sums %llu vs %llu, steps %llu vs %llu)\n",
+                     static_cast<unsigned long long>(perop_sum),
+                     static_cast<unsigned long long>(batched_sum),
+                     static_cast<unsigned long long>(perop_steps),
+                     static_cast<unsigned long long>(batched_steps));
+        std::exit(1);
+    }
+    Cycle baseline_sum = 0;
+    {
+        std::vector<BatchedCostStream> streams;
+        std::vector<DriverBenchCore> cores;
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            streams.emplace_back(0x9e3779b9ull * (c + 1));
+        }
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            cores.push_back(DriverBenchCore{streams[c]});
+        }
+        const auto t0 = Clock::now();
+        for (std::uint32_t c = 0; c < kCores; ++c) {
+            DriverBenchCore &core = cores[c];
+            for (std::uint64_t i = 0; i < steps_per_core[c]; ++i) {
+                if (core.pos == core.len) {
+                    core.len = core.stream.nextBatch(core.buf.data(),
+                                                     core.buf.size());
+                    core.pos = 0;
+                }
+                core.apply(core.buf[core.pos++]);
+            }
+            baseline_sum += core.cycle;
+        }
+        times.baseline_ns =
+            seconds(t0, Clock::now()) * 1e9 /
+            static_cast<double>(perop_steps);
+        checksum += streams[0].gapSetup() < 0.0 ? 1 : 0;
+    }
+    if (baseline_sum != perop_sum) {
+        std::fprintf(stderr,
+                     "FATAL: baseline replay diverged (clock sum %llu "
+                     "vs %llu)\n",
+                     static_cast<unsigned long long>(baseline_sum),
+                     static_cast<unsigned long long>(perop_sum));
+        std::exit(1);
+    }
+    checksum += perop_sum;
+    return times;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end reference run (both driver modes)
+
+struct SingleRun
+{
+    double batched_s = 0.0;
+    double perop_s = 0.0;
+    std::uint64_t steps = 0;
+    double quantum_avg_ops = 0.0;
+};
+
+/**
+ * One complete simulation — coop / G4-1 at bench scale, the fig08
+ * configuration — run end to end under each driver mode. The two
+ * results must be bit-identical (store::formatResult compares every
+ * RunResult field exactly); the timing difference is the batching win
+ * in situ, and the driver stats record the quantum length achieved.
+ * Always bench scale, so recorded numbers are comparable across runs
+ * regardless of --scale.
+ */
+SingleRun
+benchSingleRun(std::uint64_t &checksum)
+{
+    const trace::WorkloadGroup &group = trace::groupByName("G4-1");
+    sim::SystemConfig config =
+        sim::makeSystemConfig(4, "coop", sim::RunScale::Bench);
+
+    SingleRun times;
+    std::string batched_line;
+    std::string perop_line;
+    {
+        config.driver = sim::DriverMode::Batched;
+        sim::System system(config, trace::groupProfiles(group));
+        const auto t0 = Clock::now();
+        const sim::RunResult result = system.run();
+        times.batched_s = seconds(t0, Clock::now());
+        times.steps = system.driverStats().steps;
+        times.quantum_avg_ops = system.driverStats().avgQuantumOps();
+        batched_line = store::formatResult(result);
+        checksum += result.total_cycles;
+    }
+    {
+        config.driver = sim::DriverMode::PerOp;
+        sim::System system(config, trace::groupProfiles(group));
+        const auto t0 = Clock::now();
+        const sim::RunResult result = system.run();
+        times.perop_s = seconds(t0, Clock::now());
+        perop_line = store::formatResult(result);
+    }
+    if (batched_line != perop_line) {
+        std::fprintf(stderr,
+                     "FATAL: batched and per-op drivers disagree:\n"
+                     "  batched: %s\n  per-op:  %s\n",
+                     batched_line.c_str(), perop_line.c_str());
+        std::exit(1);
+    }
+    return times;
+}
+
+// ---------------------------------------------------------------------------
+// Host metadata
+
+const char *
+compilerString()
+{
+#if defined(__clang__)
+    return "clang " __VERSION__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+/** `git rev-parse --short HEAD`, or "unknown" outside a checkout. */
+std::string
+gitRevision()
+{
+    std::string rev = "unknown";
+    if (FILE *pipe =
+            popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+            buf[std::strcspn(buf, "\r\n")] = '\0';
+            if (buf[0] != '\0') {
+                rev = buf;
+            }
+        }
+        pclose(pipe);
+    }
+    return rev;
+}
+
 /**
  * Every simulation key figs 5-16 request at @p scale: the five-scheme
  * sweep over the two- and four-core groups (figs 5-10 and 14-16), the
@@ -277,6 +698,27 @@ main(int argc, char **argv)
     const double umon_ns = benchUmonAccess(checksum);
     std::printf("UMON access (full ATD)     %8.2f ns/op\n", umon_ns);
 
+    const DriverCost driver = benchDriverCost(checksum);
+    std::printf("driver+dispatch (per-op)   %8.2f ns/step "
+                "(loop %.2f - baseline %.2f)\n",
+                driver.peropNs(), driver.perop_loop_ns,
+                driver.baseline_ns);
+    std::printf("driver+dispatch (batched)  %8.2f ns/step "
+                "(%.2fx less, quantum avg %.2f ops)\n",
+                driver.batchedNs(),
+                driver.batchedNs() > 0.0
+                    ? driver.peropNs() / driver.batchedNs()
+                    : 0.0,
+                driver.quantum_avg_ops);
+
+    const SingleRun single = benchSingleRun(checksum);
+    std::printf("single run coop/G4-1 bench: batched %.3fs, per-op "
+                "%.3fs, %llu steps, quantum avg %.2f ops "
+                "(bit-identical)\n",
+                single.batched_s, single.perop_s,
+                static_cast<unsigned long long>(single.steps),
+                single.quantum_avg_ops);
+
     const SweepTimes sweep = benchExecutorSweep(cli.scale_name, checksum);
     const double speedup =
         sweep.parallel_s > 0.0 ? sweep.serial_s / sweep.parallel_s : 0.0;
@@ -295,21 +737,34 @@ main(int argc, char **argv)
             "{\n"
             "  \"scale\": \"%s\",\n"
             "  \"host_cores\": %u,\n"
+            "  \"compiler\": \"%s\",\n"
+            "  \"git_rev\": \"%s\",\n"
             "  \"executor_threads\": %u,\n"
             "  \"masked_lookup_bitscan_ns\": %.3f,\n"
             "  \"masked_lookup_linear_ns\": %.3f,\n"
             "  \"masked_victim_ns\": %.3f,\n"
             "  \"umon_access_ns\": %.3f,\n"
+            "  \"run_step_ns\": %.3f,\n"
+            "  \"run_step_perop_ns\": %.3f,\n"
+            "  \"run_step_baseline_ns\": %.3f,\n"
+            "  \"single_run_s\": %.3f,\n"
+            "  \"single_run_perop_s\": %.3f,\n"
+            "  \"single_run_steps\": %llu,\n"
+            "  \"quantum_avg_ops\": %.3f,\n"
             "  \"sweep_runs\": %zu,\n"
             "  \"sweep_serial_s\": %.3f,\n"
             "  \"sweep_parallel_s\": %.3f,\n"
             "  \"sweep_speedup\": %.3f\n"
             "}\n",
-            scale_name, host_cores,
+            scale_name, host_cores, compilerString(),
+            gitRevision().c_str(),
             sim::RunExecutor::instance().threads(),
             lookup.bitscan_ns, lookup.linear_ns, lookup.victim_ns,
-            umon_ns, sweep.runs, sweep.serial_s, sweep.parallel_s,
-            speedup);
+            umon_ns, driver.batchedNs(), driver.peropNs(),
+            driver.baseline_ns, single.batched_s, single.perop_s,
+            static_cast<unsigned long long>(single.steps),
+            single.quantum_avg_ops, sweep.runs, sweep.serial_s,
+            sweep.parallel_s, speedup);
         std::fclose(json);
         std::printf("# wrote BENCH_hotpath.json\n");
     }

@@ -68,7 +68,7 @@ class PriorityLlc final : public llc::BaseLlc
         if (found.hit) {
             array_.touch(set, found.way);
             if (isWrite(type)) {
-                array_.blockMutable(set, found.way).dirty = true;
+                array_.setDirty(set, found.way, true);
             }
             chargeAccess(core, probed, true, !isWrite(type),
                          isWrite(type), true);

@@ -9,7 +9,10 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geometry,
                              ReplPolicy policy, std::uint64_t seed)
     : slicer_(geometry.numSets(), geometry.block_bytes),
       ways_(geometry.ways),
-      blocks_(static_cast<std::size_t>(geometry.numSets()) * geometry.ways),
+      tag_(static_cast<std::size_t>(geometry.numSets()) * geometry.ways),
+      lru_(tag_.size(), 0),
+      state_(tag_.size(), 0),
+      owner_(tag_.size(), kNoCore),
       repl_(policy, seed)
 {
     COOPSIM_ASSERT(geometry.ways > 0 && geometry.ways <= 64,
@@ -24,11 +27,12 @@ SetAssocCache::lookup(Addr addr, WayMask mask) const
 {
     const SetId set = slicer_.set(addr);
     const Addr tag = slicer_.tag(addr);
-    const CacheBlock *base = &blocks_[index(set, 0)];
+    const std::size_t base = index(set, 0);
+    const Addr *tags = &tag_[base];
+    const std::uint8_t *state = &state_[base];
     for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
         const WayId w = lowestWay(m);
-        const CacheBlock &blk = base[w];
-        if (blk.valid && blk.tag == tag) {
+        if ((state[w] & kValidBit) != 0 && tags[w] == tag) {
             return {true, w};
         }
     }
@@ -38,21 +42,22 @@ SetAssocCache::lookup(Addr addr, WayMask mask) const
 void
 SetAssocCache::touch(SetId set, WayId way)
 {
-    blocks_[index(set, way)].lru = ++lru_clock_;
+    lru_[index(set, way)] = ++lru_clock_;
 }
 
 WayId
 SetAssocCache::victim(SetId set, WayMask mask)
 {
     COOPSIM_ASSERT(mask != 0, "victim over empty mask");
-    const CacheBlock *base = &blocks_[index(set, 0)];
+    const std::size_t base = index(set, 0);
+    const std::uint8_t *state = &state_[base];
     for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
         const WayId w = lowestWay(m);
-        if (!base[w].valid) {
+        if ((state[w] & kValidBit) == 0) {
             return w;
         }
     }
-    return repl_.victim(base, ways_, mask);
+    return repl_.victim(&lru_[base], ways_, mask);
 }
 
 void
@@ -60,52 +65,54 @@ SetAssocCache::insert(Addr addr, SetId set, WayId way, CoreId owner,
                       bool dirty)
 {
     COOPSIM_ASSERT(way < ways_, "insert way out of range");
-    CacheBlock &blk = blocks_[index(set, way)];
-    blk.tag = slicer_.tag(addr);
-    blk.valid = true;
-    blk.dirty = dirty;
-    blk.owner = owner;
-    blk.lru = ++lru_clock_;
+    const std::size_t i = index(set, way);
+    tag_[i] = slicer_.tag(addr);
+    state_[i] = static_cast<std::uint8_t>(kValidBit |
+                                          (dirty ? kDirtyBit : 0));
+    owner_[i] = owner;
+    lru_[i] = ++lru_clock_;
 }
 
 CacheBlock
 SetAssocCache::invalidate(SetId set, WayId way)
 {
-    CacheBlock &blk = blocks_[index(set, way)];
-    const CacheBlock before = blk;
-    blk = CacheBlock{};
+    const CacheBlock before = block(set, way);
+    const std::size_t i = index(set, way);
+    tag_[i] = 0;
+    state_[i] = 0;
+    owner_[i] = kNoCore;
+    lru_[i] = 0;
     return before;
 }
 
-const CacheBlock &
+CacheBlock
 SetAssocCache::block(SetId set, WayId way) const
 {
     COOPSIM_ASSERT(way < ways_ && set < numSets(), "block out of range");
-    return blocks_[index(set, way)];
-}
-
-CacheBlock &
-SetAssocCache::blockMutable(SetId set, WayId way)
-{
-    COOPSIM_ASSERT(way < ways_ && set < numSets(), "block out of range");
-    return blocks_[index(set, way)];
+    const std::size_t i = index(set, way);
+    CacheBlock blk;
+    blk.tag = tag_[i];
+    blk.valid = (state_[i] & kValidBit) != 0;
+    blk.dirty = (state_[i] & kDirtyBit) != 0;
+    blk.owner = owner_[i];
+    blk.lru = lru_[i];
+    return blk;
 }
 
 Addr
 SetAssocCache::blockAddr(SetId set, WayId way) const
 {
-    const CacheBlock &blk = block(set, way);
-    COOPSIM_ASSERT(blk.valid, "blockAddr of invalid block");
-    return slicer_.compose(blk.tag, set);
+    COOPSIM_ASSERT(validAt(set, way), "blockAddr of invalid block");
+    return slicer_.compose(tag_[index(set, way)], set);
 }
 
 std::uint32_t
 SetAssocCache::validCount(SetId set, WayMask mask) const
 {
-    const CacheBlock *base = &blocks_[index(set, 0)];
+    const std::uint8_t *state = &state_[index(set, 0)];
     std::uint32_t count = 0;
     for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
-        if (base[lowestWay(m)].valid) {
+        if ((state[lowestWay(m)] & kValidBit) != 0) {
             ++count;
         }
     }
@@ -115,11 +122,13 @@ SetAssocCache::validCount(SetId set, WayMask mask) const
 std::uint32_t
 SetAssocCache::ownedCount(SetId set, WayMask mask, CoreId core) const
 {
-    const CacheBlock *base = &blocks_[index(set, 0)];
+    const std::size_t base = index(set, 0);
+    const std::uint8_t *state = &state_[base];
+    const CoreId *owner = &owner_[base];
     std::uint32_t count = 0;
     for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
-        const CacheBlock &blk = base[lowestWay(m)];
-        if (blk.valid && blk.owner == core) {
+        const WayId w = lowestWay(m);
+        if ((state[w] & kValidBit) != 0 && owner[w] == core) {
             ++count;
         }
     }
@@ -129,17 +138,19 @@ SetAssocCache::ownedCount(SetId set, WayMask mask, CoreId core) const
 WayId
 SetAssocCache::lruValidWay(SetId set, WayMask mask) const
 {
-    const CacheBlock *base = &blocks_[index(set, 0)];
+    const std::size_t base = index(set, 0);
+    const std::uint8_t *state = &state_[base];
+    const std::uint64_t *lru = &lru_[base];
     WayId best = kNoWay;
     std::uint64_t best_lru = 0;
     for (WayMask m = mask & fullMask(ways_); m != 0; m &= m - 1) {
         const WayId w = lowestWay(m);
-        if (!base[w].valid) {
+        if ((state[w] & kValidBit) == 0) {
             continue;
         }
-        if (best == kNoWay || base[w].lru < best_lru) {
+        if (best == kNoWay || lru[w] < best_lru) {
             best = w;
-            best_lru = base[w].lru;
+            best_lru = lru[w];
         }
     }
     return best;
@@ -163,7 +174,7 @@ L1Cache::access(Addr addr, AccessType type)
         ++hits_;
         array_.touch(set, found.way);
         if (isWrite(type)) {
-            array_.blockMutable(set, found.way).dirty = true;
+            array_.setDirty(set, found.way, true);
         }
         result.hit = true;
         return result;
@@ -171,8 +182,7 @@ L1Cache::access(Addr addr, AccessType type)
 
     ++misses_;
     const WayId way = array_.victim(set, all);
-    const CacheBlock &old = array_.block(set, way);
-    if (old.valid && old.dirty) {
+    if (array_.validAt(set, way) && array_.dirtyAt(set, way)) {
         result.writeback = true;
         result.writeback_addr = array_.blockAddr(set, way);
     }

@@ -47,7 +47,14 @@ lowestWay(WayMask mask)
     return static_cast<WayId>(std::countr_zero(mask & -mask));
 }
 
-/** State of one cache block (tag entry). */
+/**
+ * State of one cache block (tag entry), as a value snapshot.
+ *
+ * Storage inside SetAssocCache is struct-of-arrays (one contiguous
+ * array per field, sized per geometry), so the masked hot loops scan
+ * dense tag/state words instead of striding over 24-byte records;
+ * block() assembles this view on demand for inspection paths.
+ */
 struct CacheBlock
 {
     Addr tag = 0;
@@ -123,8 +130,35 @@ class SetAssocCache
     /** Invalidates (set, way); returns the block state before. */
     CacheBlock invalidate(SetId set, WayId way);
 
-    const CacheBlock &block(SetId set, WayId way) const;
-    CacheBlock &blockMutable(SetId set, WayId way);
+    /** Value snapshot of (set, way), assembled from the SoA arrays.
+     *  Prefer the *At accessors below on hot paths that read a single
+     *  field. */
+    CacheBlock block(SetId set, WayId way) const;
+
+    // Single-field reads/writes against the SoA arrays.
+    bool validAt(SetId set, WayId way) const
+    {
+        return (state_[index(set, way)] & kValidBit) != 0;
+    }
+    bool dirtyAt(SetId set, WayId way) const
+    {
+        return (state_[index(set, way)] & kDirtyBit) != 0;
+    }
+    CoreId ownerAt(SetId set, WayId way) const
+    {
+        return owner_[index(set, way)];
+    }
+    void setDirty(SetId set, WayId way, bool dirty)
+    {
+        std::uint8_t &state = state_[index(set, way)];
+        state = dirty ? (state | kDirtyBit)
+                      : (state & static_cast<std::uint8_t>(~kDirtyBit));
+    }
+    /** Re-tags (set, way)'s data to @p owner (UCP hit re-attribution). */
+    void setOwner(SetId set, WayId way, CoreId owner)
+    {
+        owner_[index(set, way)] = owner;
+    }
 
     /** Block-aligned address stored in (set, way); block must be valid. */
     Addr blockAddr(SetId set, WayId way) const;
@@ -143,6 +177,10 @@ class SetAssocCache
     std::uint32_t ways() const { return ways_; }
 
   private:
+    /** state_ bit layout. */
+    static constexpr std::uint8_t kValidBit = 1;
+    static constexpr std::uint8_t kDirtyBit = 2;
+
     std::size_t index(SetId set, WayId way) const
     {
         return static_cast<std::size_t>(set) * ways_ + way;
@@ -150,7 +188,18 @@ class SetAssocCache
 
     AddrSlicer slicer_;
     std::uint32_t ways_;
-    std::vector<CacheBlock> blocks_;
+    /**
+     * Struct-of-arrays tag/metadata store, each array sized
+     * sets x ways for the configured geometry. The masked lookup scans
+     * tag_/state_ only (dense 8-byte tags plus 1-byte state, instead
+     * of striding over 24-byte records); lru_ is touched by recency
+     * updates and victim search; owner_ only by the partitioning
+     * bookkeeping.
+     */
+    std::vector<Addr> tag_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> state_;
+    std::vector<CoreId> owner_;
     std::uint64_t lru_clock_ = 0;
     ReplacementPolicy repl_;
 };

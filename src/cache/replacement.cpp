@@ -14,8 +14,8 @@ ReplacementPolicy::ReplacementPolicy(ReplPolicy policy, std::uint64_t seed)
 }
 
 WayId
-ReplacementPolicy::victim(const CacheBlock *set_blocks, std::uint32_t ways,
-                          std::uint64_t mask)
+ReplacementPolicy::victim(const std::uint64_t *set_lru,
+                          std::uint32_t ways, std::uint64_t mask)
 {
     COOPSIM_ASSERT(mask != 0, "victim selection over empty mask");
     mask &= fullMask(ways);
@@ -39,7 +39,7 @@ ReplacementPolicy::victim(const CacheBlock *set_blocks, std::uint32_t ways,
     bool first = true;
     for (std::uint64_t m = mask; m != 0; m &= m - 1) {
         const WayId w = lowestWay(m);
-        const std::uint64_t lru = set_blocks[w].lru;
+        const std::uint64_t lru = set_lru[w];
         const bool better = first || (policy_ == ReplPolicy::Lru
                                           ? lru < best_lru
                                           : lru > best_lru);

@@ -21,8 +21,6 @@
 namespace coopsim::cache
 {
 
-struct CacheBlock;
-
 /** Selects how victims are chosen among allowed, valid ways. */
 enum class ReplPolicy : std::uint8_t
 {
@@ -33,7 +31,7 @@ enum class ReplPolicy : std::uint8_t
 
 /**
  * Stateless-per-set victim selector (the per-block LRU stamps live in
- * the blocks themselves; Random keeps an Rng).
+ * the cache's SoA lru array; Random keeps an Rng).
  */
 class ReplacementPolicy
 {
@@ -41,15 +39,16 @@ class ReplacementPolicy
     explicit ReplacementPolicy(ReplPolicy policy, std::uint64_t seed);
 
     /**
-     * Chooses a victim among the ways of @p set_blocks selected by
-     * @p mask. All masked ways are valid (callers prefer invalid ways
-     * before consulting the policy).
+     * Chooses a victim among the ways whose LRU stamps are
+     * @p set_lru[0..ways), restricted to @p mask. All masked ways are
+     * valid (callers prefer invalid ways before consulting the
+     * policy).
      *
-     * @param set_blocks Pointer to the first block of the set.
-     * @param ways       Associativity.
-     * @param mask       Allowed ways; must select at least one way.
+     * @param set_lru Pointer to the set's slice of the LRU-stamp array.
+     * @param ways    Associativity.
+     * @param mask    Allowed ways; must select at least one way.
      */
-    WayId victim(const CacheBlock *set_blocks, std::uint32_t ways,
+    WayId victim(const std::uint64_t *set_lru, std::uint32_t ways,
                  std::uint64_t mask);
 
     ReplPolicy kind() const { return policy_; }

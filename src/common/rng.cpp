@@ -94,6 +94,12 @@ Rng::nextFromCdf(const double *cdf, std::uint32_t n)
 std::uint64_t
 Rng::nextGeometric(double p_success)
 {
+    return nextGeometric(p_success, std::log1p(-p_success));
+}
+
+std::uint64_t
+Rng::nextGeometric(double p_success, double log1p_neg_p)
+{
     COOPSIM_ASSERT(p_success > 0.0 && p_success <= 1.0,
                    "geometric p out of range");
     if (p_success >= 1.0) {
@@ -101,7 +107,7 @@ Rng::nextGeometric(double p_success)
     }
     const double u = nextDouble();
     return static_cast<std::uint64_t>(
-        std::floor(std::log1p(-u) / std::log1p(-p_success)));
+        std::floor(std::log1p(-u) / log1p_neg_p));
 }
 
 } // namespace coopsim

@@ -56,6 +56,15 @@ class Rng
     /** Geometric-like draw: number of failures before a success. */
     std::uint64_t nextGeometric(double p_success);
 
+    /**
+     * Cached-log variant for callers that draw many times with the
+     * same @p p_success: @p log1p_neg_p must equal
+     * std::log1p(-p_success) (ignored when p_success >= 1). Performs
+     * the identical operations on the identical draw, so the result
+     * is bit-identical to nextGeometric(p_success).
+     */
+    std::uint64_t nextGeometric(double p_success, double log1p_neg_p);
+
   private:
     std::uint64_t state_[4];
 };

@@ -15,6 +15,8 @@
 #ifndef COOPSIM_CORE_OP_STREAM_HPP
 #define COOPSIM_CORE_OP_STREAM_HPP
 
+#include <cstddef>
+
 #include "common/types.hpp"
 
 namespace coopsim::core
@@ -40,6 +42,25 @@ class OpStream
 
     /** Produces the next operation. Streams never end. */
     virtual MemOp next() = 0;
+
+    /**
+     * Fills out[0, max) with the next @p max operations and returns
+     * the count produced (always @p max for the infinite streams in
+     * this tree; a finite replay stream may return less).
+     *
+     * The core model consumes operations through this interface so one
+     * virtual dispatch covers a whole batch. Generation must not depend
+     * on consumption timing: a stream is a pure sequence, and the core
+     * buffers ops ahead of executing them. The default forwards to
+     * next(); generators override it with a non-virtual inner loop.
+     */
+    virtual std::size_t nextBatch(MemOp *out, std::size_t max)
+    {
+        for (std::size_t i = 0; i < max; ++i) {
+            out[i] = next();
+        }
+        return max;
+    }
 };
 
 } // namespace coopsim::core

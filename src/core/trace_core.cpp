@@ -72,9 +72,8 @@ TraceCore::issueLlcAccess(Addr addr, AccessType type)
 }
 
 void
-TraceCore::step()
+TraceCore::executeOp(const MemOp &op)
 {
-    const MemOp op = stream_.next();
     retireGap(op.gap_insts);
 
     // The memory instruction itself.
@@ -98,6 +97,23 @@ TraceCore::step()
         stats_.llc_writes.inc();
     }
     issueLlcAccess(op.addr, op.type);
+}
+
+void
+TraceCore::step()
+{
+    executeOp(nextOp());
+}
+
+std::uint64_t
+TraceCore::stepQuantum(Cycle cycle_bound, InstCount inst_bound)
+{
+    std::uint64_t ops = 0;
+    do {
+        executeOp(nextOp());
+        ++ops;
+    } while (cycle_ < cycle_bound && retired_ < inst_bound);
+    return ops;
 }
 
 void

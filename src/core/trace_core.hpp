@@ -21,9 +21,11 @@
 #ifndef COOPSIM_CORE_TRACE_CORE_HPP
 #define COOPSIM_CORE_TRACE_CORE_HPP
 
+#include <array>
 #include <deque>
 
 #include "cache/cache.hpp"
+#include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/op_stream.hpp"
@@ -78,6 +80,22 @@ class TraceCore
      */
     void step();
 
+    /**
+     * Executes operation bundles back to back until the local clock
+     * reaches @p cycle_bound or the retired-instruction count reaches
+     * @p inst_bound, and returns the number of bundles executed.
+     *
+     * Always executes at least one bundle (the driver only dispatches
+     * a quantum to the arbitration winner, which the per-op loop would
+     * have stepped unconditionally), and both bounds are checked after
+     * each bundle — exactly the post-step checks of the per-op driver,
+     * so a quantum ends on the same bundle the per-op loop would have
+     * re-arbitrated or quota-marked on. State after
+     * stepQuantum(bound, insts) is bit-identical to calling step() in
+     * a loop with those exit checks.
+     */
+    std::uint64_t stepQuantum(Cycle cycle_bound, InstCount inst_bound);
+
     /** Local clock. Advances monotonically with step(). */
     Cycle cycle() const { return cycle_; }
 
@@ -110,15 +128,40 @@ class TraceCore
     const CoreStats &stats() const { return stats_; }
 
   private:
+    /** Ops fetched per virtual OpStream::nextBatch() call. */
+    static constexpr std::size_t kOpBatch = 64;
+
     void retireGap(InstCount gap);
     void drainWindowTo(InstCount inst_horizon);
     void issueLlcAccess(Addr addr, AccessType type);
+    /** One operation bundle (the body shared by step/stepQuantum). */
+    void executeOp(const MemOp &op);
+    /** Next op from the ring buffer, refilling it when drained. */
+    const MemOp &nextOp()
+    {
+        if (op_pos_ == op_len_) {
+            op_len_ = stream_.nextBatch(op_buf_.data(), kOpBatch);
+            COOPSIM_ASSERT(op_len_ > 0, "op stream ended");
+            op_pos_ = 0;
+        }
+        return op_buf_[op_pos_++];
+    }
 
     CoreId id_;
     CoreConfig config_;
     llc::BaseLlc &llc_;
     OpStream &stream_;
     cache::L1Cache l1_;
+
+    /**
+     * Ring buffer of pre-generated operations: the stream pays one
+     * virtual dispatch (and one generator-loop setup) per kOpBatch
+     * ops instead of per op. Safe because streams are pure sequences
+     * (see OpStream::nextBatch).
+     */
+    std::array<MemOp, kOpBatch> op_buf_{};
+    std::size_t op_pos_ = 0;
+    std::size_t op_len_ = 0;
 
     Cycle cycle_ = 0;
     InstCount retired_ = 0;

@@ -84,7 +84,7 @@ UnmanagedLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     if (found.hit) {
         array_.touch(set, found.way);
         if (isWrite(type)) {
-            array_.blockMutable(set, found.way).dirty = true;
+            array_.setDirty(set, found.way, true);
         }
         chargeAccess(core, probed, true, !isWrite(type), isWrite(type),
                      false);
@@ -92,8 +92,7 @@ UnmanagedLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     }
 
     const WayId victim = array_.victim(set, all);
-    const cache::CacheBlock &old = array_.block(set, victim);
-    if (old.valid && old.dirty) {
+    if (array_.validAt(set, victim) && array_.dirtyAt(set, victim)) {
         dram_.writeback(array_.blockAddr(set, victim), now);
         core_stats_[core].writebacks.inc();
     }
@@ -141,7 +140,7 @@ FairShareLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     if (found.hit) {
         array_.touch(set, found.way);
         if (isWrite(type)) {
-            array_.blockMutable(set, found.way).dirty = true;
+            array_.setDirty(set, found.way, true);
         }
         chargeAccess(core, probed, true, !isWrite(type), isWrite(type),
                      false);
@@ -149,8 +148,7 @@ FairShareLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     }
 
     const WayId victim = array_.victim(set, mask);
-    const cache::CacheBlock &old = array_.block(set, victim);
-    if (old.valid && old.dirty) {
+    if (array_.validAt(set, victim) && array_.dirtyAt(set, victim)) {
         dram_.writeback(array_.blockAddr(set, victim), now);
         core_stats_[core].writebacks.inc();
     }
@@ -189,7 +187,7 @@ UcpLlc::pickVictim(CoreId core, SetId set)
 
     // Invalid ways first.
     for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-        if (!array_.block(set, w).valid) {
+        if (!array_.validAt(set, w)) {
             return w;
         }
     }
@@ -197,9 +195,9 @@ UcpLlc::pickVictim(CoreId core, SetId set)
     // Per-core occupancy of this set.
     std::vector<std::uint32_t> counts(config_.num_cores, 0);
     for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-        const auto &blk = array_.block(set, w);
-        if (blk.valid && blk.owner < config_.num_cores) {
-            ++counts[blk.owner];
+        const CoreId owner = array_.ownerAt(set, w);
+        if (array_.validAt(set, w) && owner < config_.num_cores) {
+            ++counts[owner];
         }
     }
 
@@ -207,9 +205,9 @@ UcpLlc::pickVictim(CoreId core, SetId set)
         // Under quota: take the LRU block of an over-quota core.
         WayMask over = 0;
         for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-            const auto &blk = array_.block(set, w);
-            if (blk.valid && blk.owner < config_.num_cores &&
-                blk.owner != core && counts[blk.owner] > alloc_[blk.owner]) {
+            const CoreId owner = array_.ownerAt(set, w);
+            if (array_.validAt(set, w) && owner < config_.num_cores &&
+                owner != core && counts[owner] > alloc_[owner]) {
                 over |= WayMask{1} << w;
             }
         }
@@ -221,8 +219,7 @@ UcpLlc::pickVictim(CoreId core, SetId set)
     // At (or above) quota, or nobody to take from: evict own LRU block.
     WayMask own = 0;
     for (std::uint32_t w = 0; w < array_.ways(); ++w) {
-        const auto &blk = array_.block(set, w);
-        if (blk.valid && blk.owner == core) {
+        if (array_.validAt(set, w) && array_.ownerAt(set, w) == core) {
             own |= WayMask{1} << w;
         }
     }
@@ -272,24 +269,22 @@ UcpLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     const auto found = array_.lookup(aligned, all);
     if (found.hit) {
         array_.touch(set, found.way);
-        auto &blk = array_.blockMutable(set, found.way);
         if (isWrite(type)) {
-            blk.dirty = true;
+            array_.setDirty(set, found.way, true);
         }
         // UCP hits re-tag the block to the accessor (multiprogrammed
         // workloads have disjoint address spaces, so the owner can only
         // "change" through this path if the same core re-touches it).
-        blk.owner = core;
+        array_.setOwner(set, found.way, core);
         chargeAccess(core, probed, true, !isWrite(type), isWrite(type),
                      true);
         return {true, false, now + config_.hit_latency, probed};
     }
 
     const WayId victim = pickVictim(core, set);
-    const cache::CacheBlock &old = array_.block(set, victim);
-    if (old.valid) {
-        const bool foreign = old.owner != core;
-        if (old.dirty) {
+    if (array_.validAt(set, victim)) {
+        const bool foreign = array_.ownerAt(set, victim) != core;
+        if (array_.dirtyAt(set, victim)) {
             dram_.writeback(array_.blockAddr(set, victim), now);
             core_stats_[core].writebacks.inc();
             if (foreign) {
@@ -388,7 +383,7 @@ DynamicCpeLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     if (found.hit) {
         array_.touch(set, found.way);
         if (isWrite(type)) {
-            array_.blockMutable(set, found.way).dirty = true;
+            array_.setDirty(set, found.way, true);
         }
         chargeAccess(core, probed, true, !isWrite(type), isWrite(type),
                      true);
@@ -396,9 +391,8 @@ DynamicCpeLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     }
 
     const WayId victim = array_.victim(set, mask);
-    const cache::CacheBlock &old = array_.block(set, victim);
-    if (old.valid && old.dirty) {
-        COOPSIM_ASSERT(old.owner == core,
+    if (array_.validAt(set, victim) && array_.dirtyAt(set, victim)) {
+        COOPSIM_ASSERT(array_.ownerAt(set, victim) == core,
                        "CPE way holds a foreign dirty block");
         dram_.writeback(array_.blockAddr(set, victim), start);
         core_stats_[core].writebacks.inc();
@@ -580,10 +574,11 @@ CooperativeLlc::participate(CoreId core, SetId set, bool would_hit,
     if (donating != 0) {
         for (WayMask m = donating; m != 0; m &= m - 1) {
             const WayId w = cache::lowestWay(m);
-            cache::CacheBlock &blk = array_.blockMutable(set, w);
-            if (blk.valid && blk.owner == core && blk.dirty) {
+            if (array_.validAt(set, w) &&
+                array_.ownerAt(set, w) == core &&
+                array_.dirtyAt(set, w)) {
                 dram_.flush(array_.blockAddr(set, w), now);
-                blk.dirty = false;
+                array_.setDirty(set, w, false);
                 recordFlush(now);
             }
         }
@@ -610,10 +605,11 @@ CooperativeLlc::participate(CoreId core, SetId set, bool would_hit,
             if (donor == kNoCore) {
                 continue; // completed while iterating
             }
-            cache::CacheBlock &blk = array_.blockMutable(set, w);
-            if (blk.valid && blk.owner == donor && blk.dirty) {
+            if (array_.validAt(set, w) &&
+                array_.ownerAt(set, w) == donor &&
+                array_.dirtyAt(set, w)) {
                 dram_.flush(array_.blockAddr(set, w), now);
-                blk.dirty = false;
+                array_.setDirty(set, w, false);
                 recordFlush(now);
             }
             if (takeover_.mark(donor, set)) {
@@ -650,13 +646,12 @@ CooperativeLlc::completeDonor(CoreId donor, Cycle now, bool forced)
             config_.gating == GatingMode::Drowsy &&
             perms_.writerOf(w) == kNoCore;
         for (SetId s = 0; s < array_.numSets(); ++s) {
-            cache::CacheBlock &blk = array_.blockMutable(s, w);
-            if (blk.valid && blk.owner == donor) {
-                if (blk.dirty) {
+            if (array_.validAt(s, w) && array_.ownerAt(s, w) == donor) {
+                if (array_.dirtyAt(s, w)) {
                     dram_.flush(array_.blockAddr(s, w), now);
                     recordFlush(now);
                     completion_flushes_.inc();
-                    blk.dirty = false;
+                    array_.setDirty(s, w, false);
                 }
                 if (!keep_clean_lines) {
                     array_.invalidate(s, w);
@@ -750,15 +745,14 @@ CooperativeLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
             // line (it was ours and the set was touched), so drop the
             // stale copy and fall through to the miss path, which
             // re-allocates the line in a writable way.
-            cache::CacheBlock &blk =
-                array_.blockMutable(set, found.way);
-            COOPSIM_ASSERT(!blk.dirty, "dirty line after donor flush");
+            COOPSIM_ASSERT(!array_.dirtyAt(set, found.way),
+                           "dirty line after donor flush");
             array_.invalidate(set, found.way);
             found.hit = false;
         } else {
             array_.touch(set, found.way);
             if (isWrite(type)) {
-                array_.blockMutable(set, found.way).dirty = true;
+                array_.setDirty(set, found.way, true);
             }
             chargeAccess(core, probed, true, !isWrite(type),
                          isWrite(type), true);
@@ -782,7 +776,7 @@ CooperativeLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
     WayId victim = kNoWay;
     for (WayMask m = write_mask; m != 0; m &= m - 1) {
         const WayId w = cache::lowestWay(m);
-        if (!array_.block(set, w).valid) {
+        if (!array_.validAt(set, w)) {
             victim = w;
             break;
         }
@@ -791,22 +785,22 @@ CooperativeLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
         WayMask stale = 0;
         for (WayMask m = write_mask; m != 0; m &= m - 1) {
             const WayId w = cache::lowestWay(m);
-            const auto &blk = array_.block(set, w);
-            if (blk.valid && blk.owner != core) {
+            if (array_.validAt(set, w) &&
+                array_.ownerAt(set, w) != core) {
                 stale |= WayMask{1} << w;
             }
         }
         if (stale != 0) {
             victim = array_.lruValidWay(set, stale);
-            COOPSIM_ASSERT(!array_.block(set, victim).dirty,
+            COOPSIM_ASSERT(!array_.dirtyAt(set, victim),
                            "stale foreign line still dirty");
         }
     }
     if (victim == kNoWay) {
         victim = array_.lruValidWay(set, write_mask);
         COOPSIM_ASSERT(victim != kNoWay, "no victim in write mask");
-        const auto &blk = array_.block(set, victim);
-        if (blk.valid && blk.dirty) {
+        if (array_.validAt(set, victim) &&
+            array_.dirtyAt(set, victim)) {
             dram_.writeback(array_.blockAddr(set, victim), now);
             core_stats_[core].writebacks.inc();
         }

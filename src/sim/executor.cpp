@@ -32,10 +32,15 @@ defaultThreadCount()
     if (const char *env = std::getenv("COOPSIM_THREADS")) {
         char *end = nullptr;
         const unsigned long n = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && n >= 1 && n <= 1024) {
-            return static_cast<unsigned>(n);
+        // Same contract as --threads=N: garbage or an out-of-range
+        // count is a descriptive fatal, never a silent fallback to
+        // hardware_concurrency (a sweep sized by a typo'd variable
+        // would otherwise oversubscribe or serialise the host).
+        if (end == env || *end != '\0' || n < 1 || n > 1024) {
+            COOPSIM_FATAL("invalid COOPSIM_THREADS value '", env,
+                          "' (expected an integer in [1, 1024])");
         }
-        COOPSIM_WARN("ignoring invalid COOPSIM_THREADS=", env);
+        return static_cast<unsigned>(n);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -15,6 +15,16 @@
  * (the lower index range) unless the right child is strictly smaller.
  * tests/test_topology.cpp property-checks this against the scan for
  * 1..17 cores under randomised clock sequences.
+ *
+ * secondBest() additionally exposes the runner-up — the minimum over
+ * every core except the current winner, same lowest-index tie rule.
+ * It is the bound of the batched driver quantum: the winner can be
+ * stepped in a tight loop, without touching the tree, for as long as
+ * its clock keeps it the arbitration winner against that runner-up.
+ * The runner-up is found among the winners of the sibling subtrees
+ * along the winner's root path (every other core lies in exactly one
+ * of those subtrees, and each cached winner is already the
+ * lowest-index minimum of its subtree).
  */
 
 #ifndef COOPSIM_SIM_MIN_CLOCK_TREE_HPP
@@ -22,6 +32,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -67,6 +78,38 @@ class MinClockTree
 
     /** Index of the minimum clock; lowest index on ties. */
     std::uint32_t minIndex() const { return winner_[1]; }
+
+    /** The runner-up of the arbitration (see file comment). */
+    struct Second
+    {
+        /** Core index, or kNoSecond on single-core trees. */
+        std::uint32_t index;
+        /** Its clock; kCycleMax when there is no second core. */
+        Cycle clock;
+    };
+
+    /** Sentinel index returned when the tree holds a single core. */
+    static constexpr std::uint32_t kNoSecond =
+        std::numeric_limits<std::uint32_t>::max();
+
+    /**
+     * Minimum clock over every core except minIndex(), ties to the
+     * lowest index — exactly what a linear scan skipping the winner
+     * would return. O(log n).
+     */
+    Second secondBest() const
+    {
+        Second best{kNoSecond, kCycleMax};
+        for (std::uint32_t i = leaves_ + winner_[1]; i > 1; i /= 2) {
+            const std::uint32_t cand = winner_[i ^ 1u];
+            const Cycle cand_clock = clock_[cand];
+            if (cand_clock < best.clock ||
+                (cand_clock == best.clock && cand < best.index)) {
+                best = {cand, cand_clock};
+            }
+        }
+        return best;
+    }
 
     Cycle clock(std::uint32_t index) const { return clock_[index]; }
     std::uint32_t size() const { return n_; }

@@ -1,6 +1,8 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 #include <optional>
 
 #include "api/registry.hpp"
@@ -149,14 +151,19 @@ RunResult
 System::run()
 {
     const std::uint32_t n = config_.num_cores;
+    const bool batched = config_.driver == DriverMode::Batched;
+    constexpr InstCount kNoInstBound =
+        std::numeric_limits<InstCount>::max();
+    driver_stats_ = DriverStats{};
 
     // The global-order event loop picks the laggard core before every
-    // step, so min_core() dominates the driver. Core clocks are mirrored
-    // into a dense local array (no unique_ptr chase per comparison) and
-    // only the stepped core's mirror is refreshed. The ubiquitous
-    // two-core configuration reduces to a single compare; larger
-    // systems keep the minimum in a tournament tree (O(log n) per
-    // step, ties to the lowest index — bit-identical to a linear scan).
+    // quantum, so min_core() dominates the per-op driver. Core clocks
+    // are mirrored into a dense local array (no unique_ptr chase per
+    // comparison) and only the stepped core's mirror is refreshed. The
+    // ubiquitous two-core configuration reduces to a single compare;
+    // larger systems keep the minimum in a tournament tree (O(log n)
+    // per update, ties to the lowest index — bit-identical to a linear
+    // scan).
     std::vector<Cycle> clock(n);
     for (std::uint32_t c = 0; c < n; ++c) {
         clock[c] = cores_[c]->cycle();
@@ -176,8 +183,44 @@ System::run()
         }
         return tree->minIndex();
     };
+    // Per-op reference driver: one bundle per arbitration.
     auto step = [&](std::uint32_t c) {
         cores_[c]->step();
+        clock[c] = cores_[c]->cycle();
+        if (tree) {
+            tree->update(c, clock[c]);
+        }
+        driver_stats_.quanta += 1;
+        driver_stats_.steps += 1;
+    };
+    // Batched driver: the arbitration winner c may run without
+    // re-consulting the clock structure for as long as the per-op
+    // arbiter would keep picking it — while its clock stays strictly
+    // below the runner-up's, or equal when c has the lower index (the
+    // scan's tie rule). Folding the tie rule into a half-open bound
+    // gives one comparison per op: run while clock[c] < bound.
+    auto quantum_bound = [&](std::uint32_t c) -> Cycle {
+        if (n == 1) {
+            return kCycleMax; // no contender; epochs bound the quantum
+        }
+        Cycle second;
+        std::uint32_t second_index;
+        if (n == 2) {
+            second_index = c ^ 1u;
+            second = clock[second_index];
+        } else {
+            const MinClockTree::Second runner_up = tree->secondBest();
+            second = runner_up.clock;
+            second_index = runner_up.index;
+        }
+        return (c < second_index && second != kCycleMax) ? second + 1
+                                                         : second;
+    };
+    auto step_quantum = [&](std::uint32_t c, Cycle bound,
+                            InstCount inst_bound) {
+        driver_stats_.steps +=
+            cores_[c]->stepQuantum(bound, inst_bound);
+        driver_stats_.quanta += 1;
         clock[c] = cores_[c]->cycle();
         if (tree) {
             tree->update(c, clock[c]);
@@ -187,10 +230,29 @@ System::run()
     // ---- Warm-up: run until every core retired warmup_insts. ------------
     bool warm = config_.warmup_insts == 0;
     while (!warm) {
-        step(min_core());
+        const std::uint32_t c = min_core();
+        if (batched) {
+            // Only c's warm status can change inside its quantum.
+            // While any *other* core is still cold the per-op loop
+            // cannot exit, so the quantum may run to its clock bound;
+            // once every other core is warm it must stop exactly at
+            // the step where c crosses the threshold — the per-op
+            // loop's exit point.
+            bool others_warm = true;
+            for (std::uint32_t o = 0; o < n && others_warm; ++o) {
+                others_warm =
+                    o == c ||
+                    cores_[o]->retired() >= config_.warmup_insts;
+            }
+            step_quantum(c, quantum_bound(c),
+                         others_warm ? config_.warmup_insts
+                                     : kNoInstBound);
+        } else {
+            step(c);
+        }
         warm = true;
-        for (std::uint32_t c = 0; c < n; ++c) {
-            warm = warm && cores_[c]->retired() >= config_.warmup_insts;
+        for (std::uint32_t o = 0; o < n; ++o) {
+            warm = warm && cores_[o]->retired() >= config_.warmup_insts;
         }
     }
     Cycle now = 0;
@@ -206,6 +268,15 @@ System::run()
         ((now / config_.epoch_cycles) + 1) * config_.epoch_cycles;
     std::uint32_t done = 0;
     std::vector<bool> finished(n, false);
+    // Absolute retired-instruction quota targets: stepQuantum's
+    // instruction bound stops a quantum on exactly the bundle where
+    // measuredInsts() crosses insts_per_app, so the quota mark below
+    // records the same (cycle, instruction) point the per-op loop's
+    // post-step check would have.
+    std::vector<InstCount> quota_target(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+        quota_target[c] = cores_[c]->retired() + config_.insts_per_app;
+    }
 
     while (done < n) {
         const std::uint32_t c = min_core();
@@ -218,7 +289,12 @@ System::run()
             continue;
         }
 
-        step(c);
+        if (batched) {
+            step_quantum(c, std::min(quantum_bound(c), next_epoch),
+                         finished[c] ? kNoInstBound : quota_target[c]);
+        } else {
+            step(c);
+        }
         if (!finished[c] &&
             cores_[c]->measuredInsts() >= config_.insts_per_app) {
             cores_[c]->markQuotaReached();
@@ -227,7 +303,13 @@ System::run()
         }
     }
 
-    // ---- Collect. --------------------------------------------------------
+    return collect();
+}
+
+RunResult
+System::collect()
+{
+    const std::uint32_t n = config_.num_cores;
     RunResult result;
     Cycle end = 0;
     for (std::uint32_t c = 0; c < n; ++c) {
@@ -268,10 +350,10 @@ System::run()
     const auto &durations = llc_->transferDurations();
     result.completed_transfers = durations.size();
     if (!durations.empty()) {
-        double sum = 0.0;
-        for (const double d : durations) {
-            sum += d;
-        }
+        // Left fold in container order, like the hand-rolled loop it
+        // replaced — the mean stays bit-identical.
+        const double sum =
+            std::accumulate(durations.begin(), durations.end(), 0.0);
         result.avg_transfer_cycles =
             sum / static_cast<double>(durations.size());
     }

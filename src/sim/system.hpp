@@ -37,6 +37,23 @@ enum class RunScale
     Test,
 };
 
+/**
+ * How System::run() drives the cores.
+ *
+ * Batched is the production path: the laggard core runs a bounded
+ * quantum (up to the runner-up clock / the next epoch boundary) per
+ * arbitration, so the min-clock structure is consulted once per
+ * quantum instead of once per op. PerOp is the reference
+ * one-op-per-arbitration loop it replaced — retained because the two
+ * are bit-identical by construction and tests/benches hold the batched
+ * path to that (see docs/ARCHITECTURE.md, "The intra-run hot path").
+ */
+enum class DriverMode : std::uint8_t
+{
+    Batched,
+    PerOp,
+};
+
 /** Complete configuration of one simulation. */
 struct SystemConfig
 {
@@ -54,6 +71,13 @@ struct SystemConfig
     /** Cache/branch warm-up before measurement starts. */
     InstCount warmup_insts = 2'000'000;
     std::uint64_t seed = 42;
+    /**
+     * Event-loop flavour. NOT part of the simulation identity (RunKey
+     * carries no driver field): both modes produce bit-identical
+     * results, and the property tests in tests/test_hotpath.cpp keep
+     * them that way.
+     */
+    DriverMode driver = DriverMode::Batched;
 };
 
 /**
@@ -135,6 +159,26 @@ struct RunResult
 };
 
 /**
+ * Host-side accounting of the event loop (not simulated state): how
+ * many arbitration quanta the driver dispatched and how many operation
+ * bundles they covered. avgQuantumOps() > 1 is the evidence that the
+ * batched path actually batched (the CI hotpath-smoke leg greps it out
+ * of BENCH_hotpath.json).
+ */
+struct DriverStats
+{
+    std::uint64_t quanta = 0;
+    std::uint64_t steps = 0;
+
+    double avgQuantumOps() const
+    {
+        return quanta > 0 ? static_cast<double>(steps) /
+                                static_cast<double>(quanta)
+                          : 0.0;
+    }
+};
+
+/**
  * One complete simulated system.
  */
 class System
@@ -154,6 +198,9 @@ class System
     /** Runs warm-up + measurement to completion and collects results. */
     RunResult run();
 
+    /** Event-loop accounting of the last run() (host-side only). */
+    const DriverStats &driverStats() const { return driver_stats_; }
+
     /** The LLC (for inspection in tests and examples). */
     llc::BaseLlc &llc() { return *llc_; }
     const llc::BaseLlc &llc() const { return *llc_; }
@@ -161,12 +208,15 @@ class System
     const SystemConfig &config() const { return config_; }
 
   private:
+    RunResult collect();
+
     SystemConfig config_;
     std::vector<trace::AppProfile> profiles_;
     mem::DramModel dram_;
     std::unique_ptr<llc::BaseLlc> llc_;
     std::vector<std::unique_ptr<trace::SyntheticStream>> streams_;
     std::vector<std::unique_ptr<core::TraceCore>> cores_;
+    DriverStats driver_stats_;
 };
 
 } // namespace coopsim::sim

@@ -1,6 +1,8 @@
 #include "trace/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/logging.hpp"
 
@@ -66,6 +68,27 @@ SyntheticStream::SyntheticStream(const AppProfile &profile,
     cdf_secondary_ = profile.hasPhases()
                          ? buildClassCdf(profile.secondary.pmf)
                          : cdf_primary_;
+    refreshPhase();
+}
+
+void
+SyntheticStream::refreshPhase()
+{
+    if (!profile_.hasPhases()) {
+        active_phase_ = &profile_.primary;
+        active_cdf_ = &cdf_primary_;
+        phase_switch_insts_ = std::numeric_limits<InstCount>::max();
+    } else {
+        const InstCount phase_no =
+            generated_insts_ / profile_.phase_insts;
+        const bool in_primary = phase_no % 2 == 0;
+        active_phase_ =
+            in_primary ? &profile_.primary : &profile_.secondary;
+        active_cdf_ = in_primary ? &cdf_primary_ : &cdf_secondary_;
+        phase_switch_insts_ = (phase_no + 1) * profile_.phase_insts;
+    }
+    gap_p_ = std::min(1.0, active_phase_->apki / 1000.0);
+    gap_log1p_ = gap_p_ < 1.0 ? std::log1p(-gap_p_) : 0.0;
 }
 
 const AppPhase &
@@ -121,18 +144,33 @@ SyntheticStream::touch(SetId set, Addr addr)
 core::MemOp
 SyntheticStream::next()
 {
-    const bool in_primary =
-        !profile_.hasPhases() ||
-        ((generated_insts_ / profile_.phase_insts) % 2 == 0);
-    const AppPhase &phase = in_primary ? profile_.primary
-                                       : profile_.secondary;
-    const auto &cdf = in_primary ? cdf_primary_ : cdf_secondary_;
+    return generate();
+}
+
+std::size_t
+SyntheticStream::nextBatch(core::MemOp *out, std::size_t max)
+{
+    for (std::size_t i = 0; i < max; ++i) {
+        out[i] = generate();
+    }
+    return max;
+}
+
+core::MemOp
+SyntheticStream::generate()
+{
+    // The phase decision the per-op code derived from a division is
+    // served from the cache until the instruction count crosses the
+    // precomputed phase end — same selection, amortised cost.
+    if (generated_insts_ >= phase_switch_insts_) {
+        refreshPhase();
+    }
+    const auto &cdf = *active_cdf_;
 
     // Gap between LLC accesses: geometric with mean 1000/apki - 1,
     // giving naturally bursty arrivals (the source of overlapping
     // misses the OoO model exploits).
-    const double p = std::min(1.0, phase.apki / 1000.0);
-    const InstCount gap = rng_.nextGeometric(p);
+    const InstCount gap = rng_.nextGeometric(gap_p_, gap_log1p_);
 
     // Pick the access class: 0 = new block, k = recency rank k-1.
     const auto cls = rng_.nextFromCdf(cdf.data(), kMaxRank + 1);

@@ -115,11 +115,21 @@ class SyntheticStream final : public core::OpStream
 
     core::MemOp next() override;
 
+    /**
+     * Batch generation without per-op virtual dispatch: one call fills
+     * the core model's op ring buffer (see OpStream::nextBatch). The
+     * op sequence is identical to repeated next() calls.
+     */
+    std::size_t nextBatch(core::MemOp *out, std::size_t max) override;
+
     /** Instructions generated so far (gap + memory ops). */
     InstCount generatedInsts() const { return generated_insts_; }
 
   private:
     const AppPhase &currentPhase() const;
+    core::MemOp generate();
+    /** Re-derives the cached phase state from generated_insts_. */
+    void refreshPhase();
     Addr newBlock(SetId set);
     /** Moves @p addr to rank 0 of @p set's recency list. */
     void touch(SetId set, Addr addr);
@@ -138,6 +148,21 @@ class SyntheticStream final : public core::OpStream
     /** Cumulative class distribution: [new, rank0, rank1, ...]. */
     std::array<double, kMaxRank + 1> cdf_primary_{};
     std::array<double, kMaxRank + 1> cdf_secondary_{};
+
+    /**
+     * Cached phase selection: the per-op `generated_insts_ /
+     * phase_insts` division is paid only when the instruction count
+     * crosses phase_switch_insts_ (the precomputed end of the current
+     * phase), not on every generated op.
+     */
+    const AppPhase *active_phase_ = nullptr;
+    const std::array<double, kMaxRank + 1> *active_cdf_ = nullptr;
+    InstCount phase_switch_insts_ = 0;
+    /** Gap-draw parameters of the active phase: success probability
+     *  and its cached log1p(-p) (the divisor of the geometric draw,
+     *  constant per phase — no per-op transcendental). */
+    double gap_p_ = 1.0;
+    double gap_log1p_ = 0.0;
 
     InstCount generated_insts_ = 0;
 };
