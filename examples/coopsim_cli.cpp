@@ -21,6 +21,18 @@
  *  - `--spec=FILE --merge --store=DIR` folds every store file in DIR
  *    into DIR/results.coopstore and renders the table — bit-identical
  *    to the unsharded run.
+ *  - `--spec=FILE --supervise --shards=N --store=DIR` runs the whole
+ *    sharded flow under the fault-tolerant supervisor: one forked
+ *    worker per shard (this same binary with `--shard=I/N`), per-shard
+ *    wall-clock timeouts (`--shard-timeout=S`), capped-exponential
+ *    retry of crashed/hung/invalid shards (`--shard-retries=K`), then
+ *    the merge. When every shard succeeds, stdout is bit-identical to
+ *    the unsharded run and the supervision report goes to stderr;
+ *    when retries are exhausted the merge degrades to a missing-keys
+ *    summary and a non-zero exit. Worker output is appended to
+ *    DIR/shard-IofN.log. `COOPSIM_FAULT=<kind>:<shard>:<attempt>`
+ *    (src/supervise/fault.hpp) injects deterministic worker faults
+ *    for testing.
  *  - otherwise, one (scheme x group) cell with configurable
  *    threshold/seed/scale, printed as a full stat dump or a CSV row.
  *
@@ -29,11 +41,18 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include <coopsim/experiment.hpp>
 
+#include "api/parse_util.hpp"
 #include "common/logging.hpp"
+#include "sim/executor.hpp"
 #include "sim/report.hpp"
+#include "supervise/fault.hpp"
+#include "supervise/supervisor.hpp"
 
 using namespace coopsim;
 
@@ -46,9 +65,171 @@ constexpr const char *kUsage =
     "                   [--scale=test|bench|paper] [--full] "
     "[--threads=N]\n"
     "                   [--store=DIR] [--shard=I/N] [--merge]\n"
+    "                   [--supervise --shards=N [--shard-timeout=S]\n"
+    "                    [--shard-retries=K]]\n"
     "with --spec, only --scale/--threads/--seed/--store/--shard/"
-    "--merge\nmay also be given (the first three override the spec "
-    "file).\n--shard and --merge require --spec and --store.\n";
+    "--merge/\n--supervise/--shards/--shard-timeout/--shard-retries "
+    "may also be\ngiven (the first three override the spec file).\n"
+    "--shard, --merge and --supervise require --spec and --store.\n";
+
+/** 1-based attempt number of this worker process (COOPSIM_ATTEMPT,
+ *  exported by the supervisor; 1 when run by hand). */
+unsigned
+workerAttempt()
+{
+    const char *env = std::getenv(supervise::kAttemptEnv);
+    if (env == nullptr || *env == '\0') {
+        return 1;
+    }
+    const std::uint64_t n =
+        api::detail::parseUint(env, supervise::kAttemptEnv);
+    if (n < 1) {
+        COOPSIM_FATAL("invalid ", supervise::kAttemptEnv, " value '",
+                      env, "' (attempts are 1-based)");
+    }
+    return static_cast<unsigned>(n);
+}
+
+/**
+ * The supervised flow: fork one worker per shard, validate each
+ * shard's store after a clean exit, retry with backoff, then either
+ * render the merged table (bit-identical to unsharded) or report the
+ * missing keys and fail.
+ */
+int
+runSupervised(const char *binary, const api::CliOptions &cli,
+              const api::ExperimentSpec &spec,
+              const api::CliOptions &effective, unsigned threads)
+{
+    if (cli.shards == 0) {
+        COOPSIM_FATAL("--supervise requires --shards=N");
+    }
+    api::warmAllRegistries();
+    // The store directory must exist before the first worker forks:
+    // its log file lives there, and a failed log open would leak
+    // worker output into the parent's (bit-identical) stdout.
+    std::error_code ec;
+    std::filesystem::create_directories(cli.store_dir, ec);
+    if (ec) {
+        COOPSIM_FATAL("cannot create store directory '", cli.store_dir,
+                      "': ", ec.message());
+    }
+    const std::vector<sim::RunKey> keys = api::expandSpec(spec);
+
+    supervise::RetryPolicy policy;
+    policy.max_attempts = cli.shard_retries;
+    policy.shard_timeout_s = cli.shard_timeout_s;
+
+    const auto launch = [&](unsigned shard,
+                            unsigned attempt) -> supervise::ProcessResult {
+        std::vector<std::string> args = {
+            binary,
+            "--spec=" + cli.spec_path,
+            "--shard=" + std::to_string(shard) + "/" +
+                std::to_string(cli.shards),
+            "--store=" + cli.store_dir,
+        };
+        if (cli.scale_set) {
+            args.push_back("--scale=" + cli.scale_name);
+        }
+        if (cli.threads > 0) {
+            args.push_back("--threads=" + std::to_string(cli.threads));
+        }
+        if (cli.seed.has_value()) {
+            args.push_back("--seed=" + std::to_string(*cli.seed));
+        }
+        const std::vector<std::string> env = {
+            std::string(supervise::kAttemptEnv) + "=" +
+            std::to_string(attempt)};
+        // Workers write to a per-shard log, never to the parent's
+        // stdout — a successful supervised run must be bit-identical
+        // to the unsharded table.
+        const std::string log =
+            cli.store_dir + "/shard-" + std::to_string(shard) + "of" +
+            std::to_string(cli.shards) + ".log";
+        return supervise::runProcess(args, env, cli.shard_timeout_s,
+                                     log);
+    };
+    // A worker that exits 0 must also have persisted every key of its
+    // slice: a torn or corrupted shard store (crash inside save, disk
+    // fault) consumes an attempt exactly like a crash.
+    const auto validate = [&](unsigned shard, std::string &why) {
+        const std::string path =
+            cli.store_dir + "/" +
+            store::shardFileName(shard, cli.shards);
+        store::ResultStore shard_store;
+        shard_store.loadFile(path);
+        const std::vector<sim::RunKey> slice =
+            api::shardKeys(keys, shard, cli.shards);
+        std::size_t missing = 0;
+        for (const sim::RunKey &key : slice) {
+            if (!shard_store.contains(key)) {
+                ++missing;
+            }
+        }
+        if (missing > 0) {
+            why = std::to_string(missing) + " of " +
+                  std::to_string(slice.size()) +
+                  " slice keys missing from " + path;
+            return false;
+        }
+        return true;
+    };
+
+    const supervise::SuperviseReport report = supervise::superviseShards(
+        cli.shards, policy, launch, validate);
+    supervise::printSuperviseReport(report, stderr);
+
+    if (!report.allSucceeded()) {
+        // Degraded merge: fold what the surviving shards produced and
+        // name exactly what is missing — never die silently, never
+        // recompute behind the caller's back.
+        store::ResultStore merged;
+        merged.loadDir(cli.store_dir);
+        std::size_t missing = 0;
+        for (const sim::RunKey &key : keys) {
+            if (!merged.find(key).has_value()) {
+                if (missing < 5) {
+                    std::fprintf(stderr, "# supervise: missing %s\n",
+                                 api::formatRunKey(key).c_str());
+                }
+                ++missing;
+            }
+        }
+        std::string failed;
+        for (const unsigned shard : report.failedShards()) {
+            failed += failed.empty() ? "" : ", ";
+            failed += std::to_string(shard);
+        }
+        std::fprintf(stderr,
+                     "# supervise: DEGRADED: %zu of %zu keys missing "
+                     "after retries exhausted on shard(s) %s\n",
+                     missing, keys.size(), failed.c_str());
+        // Keep what the surviving shards did produce: the partial
+        // merge is still a valid warm store for a later retry.
+        std::string error;
+        const std::string merged_path =
+            cli.store_dir + "/" + store::kMergedFileName;
+        if (merged.trySave(merged_path, error)) {
+            std::fprintf(stderr,
+                         "# store: saved %zu partial results to %s\n",
+                         merged.size(), merged_path.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "error: partial merge save failed: %s\n",
+                         error.c_str());
+        }
+        return 2;
+    }
+
+    // Every shard landed: merge and render exactly like `--merge` —
+    // all keys are warm, so the table is served with zero simulations
+    // and stdout is bit-identical to the unsharded run.
+    api::attachCliStore(cli);
+    api::printPreamble(effective, threads);
+    api::printExperiment(spec);
+    return 0;
+}
 
 } // namespace
 
@@ -66,10 +247,12 @@ main(int argc, char **argv)
                             api::kFlagSpec | api::kFlagScale |
                                 api::kFlagThreads | api::kFlagSeed |
                                 api::kFlagStore | api::kFlagShard |
-                                api::kFlagMerge,
+                                api::kFlagMerge | api::kFlagSupervise,
                             kUsage);
-    } else if (cli.shard_set || cli.merge) {
-        COOPSIM_FATAL("--shard and --merge require --spec=FILE");
+    } else if (cli.shard_set || cli.merge || cli.supervise ||
+               cli.shards > 0) {
+        COOPSIM_FATAL(
+            "--shard, --merge and --supervise require --spec=FILE");
     }
     const unsigned threads = api::applyCliThreads(cli);
 
@@ -77,8 +260,17 @@ main(int argc, char **argv)
         if (cli.shard_set && cli.merge) {
             COOPSIM_FATAL("--shard and --merge are mutually exclusive");
         }
-        if ((cli.shard_set || cli.merge) && cli.store_dir.empty()) {
-            COOPSIM_FATAL("--shard and --merge require --store=DIR");
+        if (cli.supervise && (cli.shard_set || cli.merge)) {
+            COOPSIM_FATAL("--supervise is mutually exclusive with "
+                          "--shard and --merge");
+        }
+        if (!cli.supervise && cli.shards > 0) {
+            COOPSIM_FATAL("--shards=N requires --supervise");
+        }
+        if ((cli.shard_set || cli.merge || cli.supervise) &&
+            cli.store_dir.empty()) {
+            COOPSIM_FATAL(
+                "--shard, --merge and --supervise require --store=DIR");
         }
 
         api::ExperimentSpec spec = api::parseSpecFile(cli.spec_path);
@@ -93,9 +285,19 @@ main(int argc, char **argv)
         api::CliOptions effective = cli;
         effective.scale = api::scaleRegistry().get(spec.scale);
 
+        if (cli.supervise) {
+            return runSupervised(argv[0], cli, spec, effective,
+                                 threads);
+        }
+
         if (cli.shard_set) {
             // Shard mode: compute (and persist) this slice only; the
             // table needs every cell, so none is rendered here.
+            // Fault injection (COOPSIM_FAULT) is armed here — and only
+            // here — so supervised workers misbehave deterministically
+            // while the parent and unsharded runs never do.
+            supervise::armFaultsFromEnv(cli.shard_index,
+                                        workerAttempt());
             auto result_store = std::make_shared<store::ResultStore>();
             result_store->loadDir(cli.store_dir);
             sim::RunExecutor &executor = sim::RunExecutor::instance();
@@ -112,8 +314,17 @@ main(int argc, char **argv)
             executor.prefetch(slice);
             store::ResultStore shard_results;
             for (const sim::RunKey &key : slice) {
-                shard_results.put(key, executor.run(key));
+                try {
+                    shard_results.put(key, executor.run(key));
+                } catch (const sim::RunFailure &failure) {
+                    std::fprintf(stderr, "error: %s\n", failure.what());
+                    return 1;
+                }
             }
+            // The crash/hang checkpoint sits between compute and save:
+            // a crashed attempt leaves no shard file at all, which is
+            // exactly the torn state the supervisor must recover from.
+            supervise::workerCheckpoint();
             const std::string path =
                 cli.store_dir + "/" +
                 store::shardFileName(cli.shard_index, cli.shard_count);

@@ -121,6 +121,34 @@ parseCli(int argc, char **argv, unsigned allowed, const char *usage,
         } else if ((allowed & kFlagMerge) &&
                    std::strcmp(arg, "--merge") == 0) {
             options.merge = true;
+        } else if ((allowed & kFlagSupervise) &&
+                   std::strcmp(arg, "--supervise") == 0) {
+            options.supervise = true;
+        } else if ((allowed & kFlagSupervise) &&
+                   takeValue(arg, "--shards=", value)) {
+            const std::uint64_t n = parseUint(value, "--shards");
+            if (n < 1 || n > 65536) {
+                COOPSIM_FATAL("invalid --shards value '", value,
+                              "' (expected an integer in [1, 65536])");
+            }
+            options.shards = static_cast<unsigned>(n);
+        } else if ((allowed & kFlagSupervise) &&
+                   takeValue(arg, "--shard-timeout=", value)) {
+            const double seconds =
+                parseDouble(value, "--shard-timeout");
+            if (seconds < 0.0) {
+                COOPSIM_FATAL("invalid --shard-timeout value '", value,
+                              "' (seconds; 0 disables the timeout)");
+            }
+            options.shard_timeout_s = seconds;
+        } else if ((allowed & kFlagSupervise) &&
+                   takeValue(arg, "--shard-retries=", value)) {
+            const std::uint64_t n = parseUint(value, "--shard-retries");
+            if (n < 1 || n > 100) {
+                COOPSIM_FATAL("invalid --shard-retries value '", value,
+                              "' (expected an integer in [1, 100])");
+            }
+            options.shard_retries = static_cast<unsigned>(n);
         } else if (reject_unknown) {
             COOPSIM_FATAL("unknown flag '", arg, "' (try --help)");
         }
@@ -173,6 +201,11 @@ std::string g_cli_store_path;
  * runs before the executor's destructor: the save sees every result a
  * consumed future has recorded (in-flight runs that never completed
  * simply stay unrecorded).
+ *
+ * The save is the non-fatal trySave(): an atexit handler must never
+ * re-enter exit() via COOPSIM_FATAL, and a full disk or lost rename
+ * at shutdown should cost a loud stderr report naming the preserved
+ * temp file — not the silent loss of a multi-hour sweep.
  */
 void
 saveCliStore()
@@ -180,10 +213,16 @@ saveCliStore()
     if (g_cli_store == nullptr) {
         return;
     }
-    g_cli_store->save(g_cli_store_path);
+    std::string error;
+    if (!g_cli_store->trySave(g_cli_store_path, error)) {
+        std::fprintf(stderr,
+                     "error: store save failed at exit: %s\n",
+                     error.c_str());
+    } else {
+        std::fprintf(stderr, "# store: saved %zu results to %s\n",
+                     g_cli_store->size(), g_cli_store_path.c_str());
+    }
     printRunStats();
-    std::fprintf(stderr, "# store: saved %zu results to %s\n",
-                 g_cli_store->size(), g_cli_store_path.c_str());
 }
 
 } // namespace
@@ -196,6 +235,26 @@ printRunStats()
     std::fprintf(stderr, "# runs: simulations=%llu store_hits=%llu\n",
                  static_cast<unsigned long long>(stats.simulations),
                  static_cast<unsigned long long>(stats.store_hits));
+    if (stats.failed_runs > 0) {
+        std::fprintf(stderr, "# runs: failed=%llu\n",
+                     static_cast<unsigned long long>(stats.failed_runs));
+    }
+}
+
+void
+printStoreHealth(const store::ResultStore &result_store)
+{
+    const store::ResultStore::Stats stats = result_store.stats();
+    if (stats.lines_skipped > 0 || stats.files_quarantined > 0 ||
+        stats.lines_legacy > 0) {
+        std::fprintf(
+            stderr,
+            "# store: health lines_skipped=%llu lines_legacy=%llu "
+            "files_quarantined=%llu\n",
+            static_cast<unsigned long long>(stats.lines_skipped),
+            static_cast<unsigned long long>(stats.lines_legacy),
+            static_cast<unsigned long long>(stats.files_quarantined));
+    }
 }
 
 std::shared_ptr<store::ResultStore>
@@ -208,6 +267,7 @@ attachCliStore(const CliOptions &options)
     const std::size_t loaded = result_store->loadDir(options.store_dir);
     std::fprintf(stderr, "# store: loaded %zu results from %s\n",
                  loaded, options.store_dir.c_str());
+    printStoreHealth(*result_store);
     sim::RunExecutor::instance().attachStore(result_store);
     const bool register_handler = g_cli_store == nullptr;
     g_cli_store = result_store;

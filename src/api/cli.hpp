@@ -44,6 +44,9 @@ enum CliFlag : unsigned
     kFlagShard = 1u << 9,      //!< --shard=I/N (slice of the sweep)
     kFlagMerge = 1u << 10,     //!< --merge (fold shard stores, render)
     kFlagPositional = 1u << 11, //!< bare (non --) arguments
+    /** --supervise, --shards=N, --shard-timeout=S, --shard-retries=K
+     *  (the fault-tolerant shard supervisor). */
+    kFlagSupervise = 1u << 12,
 };
 
 /** The fig/table benches: scale + threads + result store. */
@@ -54,7 +57,7 @@ inline constexpr unsigned kExampleFlags =
     kBenchFlags | kFlagPositional;
 /** Everything (coopsim_cli); derived from the last enumerator so a
  *  new flag is included automatically. */
-inline constexpr unsigned kAllFlags = (kFlagPositional << 1) - 1;
+inline constexpr unsigned kAllFlags = (kFlagSupervise << 1) - 1;
 
 /** Parsed command line. */
 struct CliOptions
@@ -82,6 +85,16 @@ struct CliOptions
     /** --merge: fold the shard stores in store_dir into one and
      *  render the table from it. */
     bool merge = false;
+    /** --supervise: fork one worker per shard, retry failures, merge. */
+    bool supervise = false;
+    /** --shards=N: shard count the supervisor splits the sweep into. */
+    unsigned shards = 0;
+    /** --shard-timeout=S: per-attempt wall-clock budget in seconds
+     *  (0 disables the timeout). */
+    double shard_timeout_s = 900.0;
+    /** --shard-retries=K: attempts per shard before it is reported
+     *  failed. */
+    unsigned shard_retries = 3;
     std::vector<std::string> positional;
 };
 
@@ -124,6 +137,11 @@ attachCliStore(const CliOptions &options);
  *  ("# runs: simulations=N store_hits=M") to stderr, keeping stdout
  *  bit-identical between store-backed and fresh runs. */
 void printRunStats();
+
+/** Prints the store's load-health counters (skipped/legacy lines,
+ *  quarantined files) to stderr — only when any are non-zero, so a
+ *  clean run's stderr is unchanged. */
+void printStoreHealth(const store::ResultStore &result_store);
 
 /** parseCli + applyCliThreads + printPreamble + attachCliStore: the
  *  lines every bench main() opens with. */

@@ -2,6 +2,7 @@
 
 #include "llc/schemes.hpp"
 #include "sim/system.hpp"
+#include "trace/spec_profiles.hpp"
 
 namespace coopsim::api
 {
@@ -231,6 +232,23 @@ void
 registerWorkload(const trace::WorkloadGroup &group)
 {
     workloadRegistry().add(group.name, group);
+}
+
+void
+warmAllRegistries()
+{
+    trace::twoCoreGroups();
+    trace::fourCoreGroups();
+    trace::eightCoreGroups();
+    trace::sixteenCoreGroups();
+    trace::specProfile(trace::allSpecApps().front());
+    schemeRegistry();
+    replPolicyRegistry();
+    gatingModeRegistry();
+    thresholdModeRegistry();
+    partitionerRegistry();
+    scaleRegistry();
+    workloadRegistry();
 }
 
 std::vector<trace::WorkloadGroup>

@@ -187,6 +187,21 @@ void registerWorkload(const trace::WorkloadGroup &group);
 std::vector<trace::WorkloadGroup>
 resolveWorkloads(const std::string &pattern);
 
+// ---------------------------------------------------------------------------
+// Warm-up
+
+/**
+ * Constructs every function-local-static table a simulation resolves
+ * through — the trace group/profile tables and all of the registries
+ * above — so they exist before any thread pool or forked worker needs
+ * them. RunExecutor::instance() calls this before building the pool
+ * (statics are destroyed in reverse construction order, so the
+ * executor's destructor must run while the tables are still alive),
+ * and the shard supervisor calls it before fork/exec so parent and
+ * workers share one warm-up path instead of copy-pasted call lists.
+ */
+void warmAllRegistries();
+
 } // namespace coopsim::api
 
 #endif // COOPSIM_API_REGISTRY_HPP

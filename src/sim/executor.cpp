@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "api/registry.hpp"
+#include "api/spec.hpp"
 #include "common/logging.hpp"
 #include "store/result_store.hpp"
 #include "trace/workloads.hpp"
@@ -95,6 +96,13 @@ RunKeyHash::operator()(const RunKey &key) const
     return static_cast<std::size_t>(h);
 }
 
+RunFailure::RunFailure(RunKey key, const std::string &reason)
+    : std::runtime_error("run failed: " + api::formatRunKey(key) +
+                         ": " + reason),
+      key_(std::move(key))
+{
+}
+
 RunResult
 executeRun(const RunKey &key)
 {
@@ -144,18 +152,7 @@ RunExecutor::instance()
     // executor's destructor — which joins workers that may still be
     // inside a run at process exit — must come first, while those
     // tables are still alive.
-    trace::twoCoreGroups();
-    trace::fourCoreGroups();
-    trace::eightCoreGroups();
-    trace::sixteenCoreGroups();
-    trace::specProfile(trace::allSpecApps().front());
-    api::schemeRegistry();
-    api::replPolicyRegistry();
-    api::gatingModeRegistry();
-    api::thresholdModeRegistry();
-    api::partitionerRegistry();
-    api::scaleRegistry();
-    api::workloadRegistry();
+    api::warmAllRegistries();
     static RunExecutor executor(g_initial_threads);
     return executor;
 }
@@ -248,6 +245,7 @@ RunExecutor::stats() const
     Stats stats;
     stats.simulations = simulations_.load(std::memory_order_relaxed);
     stats.store_hits = store_hits_.load(std::memory_order_relaxed);
+    stats.failed_runs = failed_runs_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -295,14 +293,30 @@ RunExecutor::submit(const RunKey &key)
     }
 
     auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
-        [this, key, result_store = store_] {
+        [this, key, result_store = store_]() -> ResultPtr {
             simulations_.fetch_add(1, std::memory_order_relaxed);
-            auto result =
-                std::make_shared<const RunResult>(executeRun(key));
-            if (result_store != nullptr) {
-                result_store->put(key, *result);
+            // Task-boundary failure contract: any exception from the
+            // simulation becomes a RunFailure naming the key, stored
+            // on this run's future by the packaged_task machinery —
+            // the worker thread survives, other runs proceed, and
+            // nothing is recorded into the store for the failed key.
+            try {
+                auto result =
+                    std::make_shared<const RunResult>(executeRun(key));
+                if (result_store != nullptr) {
+                    result_store->put(key, *result);
+                }
+                return result;
+            } catch (const RunFailure &) {
+                failed_runs_.fetch_add(1, std::memory_order_relaxed);
+                throw;
+            } catch (const std::exception &e) {
+                failed_runs_.fetch_add(1, std::memory_order_relaxed);
+                throw RunFailure(key, e.what());
+            } catch (...) {
+                failed_runs_.fetch_add(1, std::memory_order_relaxed);
+                throw RunFailure(key, "unknown exception");
             }
-            return result;
         });
     Future future = task->get_future().share();
     cache_.emplace(key, future);

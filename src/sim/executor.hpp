@@ -34,6 +34,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -100,6 +101,27 @@ struct RunKeyHash
 RunResult executeRun(const RunKey &key);
 
 /**
+ * The failed-run state of a future: any exception escaping a
+ * simulation inside a worker task (or a helping caller) is caught at
+ * the task boundary and rethrown as a RunFailure naming the offending
+ * RunKey, stored on that run's future. The pool is never taken down —
+ * other queued runs proceed — and nothing is recorded into the
+ * attached store for the failed key. Callers observe the failure when
+ * they collect the result: run() (and future.get()) rethrow it.
+ */
+class RunFailure : public std::runtime_error
+{
+  public:
+    RunFailure(RunKey key, const std::string &reason);
+
+    /** The run that failed. */
+    const RunKey &key() const { return key_; }
+
+  private:
+    RunKey key_;
+};
+
+/**
  * Thread-pool executor with a future-based memo cache and an optional
  * disk-backed result store behind it.
  *
@@ -120,10 +142,14 @@ class RunExecutor
      *  warm-store acceptance check reads). */
     struct Stats
     {
-        /** Simulations actually executed (memo/store misses). */
+        /** Simulations actually executed (memo/store misses),
+         *  including ones that subsequently failed. */
         std::uint64_t simulations = 0;
         /** Submissions served from the attached result store. */
         std::uint64_t store_hits = 0;
+        /** Simulations that ended in a RunFailure instead of a
+         *  result (their futures rethrow; nothing is stored). */
+        std::uint64_t failed_runs = 0;
     };
 
     /** @param threads Worker count; 0 resolves the default above. */
@@ -232,6 +258,7 @@ class RunExecutor
     std::shared_ptr<store::ResultStore> store_;
     std::atomic<std::uint64_t> simulations_{0};
     std::atomic<std::uint64_t> store_hits_{0};
+    std::atomic<std::uint64_t> failed_runs_{0};
 };
 
 } // namespace coopsim::sim

@@ -1,13 +1,20 @@
 #include "store/result_store.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "api/parse_util.hpp"
 #include "api/spec.hpp"
 #include "common/logging.hpp"
+#include "supervise/fault.hpp"
 
 namespace coopsim::store
 {
@@ -49,6 +56,74 @@ shardFileName(unsigned index, unsigned count)
 {
     return "shard-" + std::to_string(index) + "of" +
            std::to_string(count) + kStoreExtension;
+}
+
+// ---------------------------------------------------------------------------
+// Line checksums
+
+namespace
+{
+
+/** The `\t#crc32=` trailer marker; '#' keeps pre-CRC parsers from
+ *  mistaking the trailer for result fields. */
+constexpr const char *kCrcMarker = "#crc32=";
+constexpr std::size_t kCrcHexDigits = 8;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
+        table[n] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t crc = 0xffffffffu;
+    for (const char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^
+              (crc >> 8);
+    }
+    return crc ^ 0xffffffffu;
+}
+
+std::string
+withCrcSuffix(const std::string &body)
+{
+    char hex[kCrcHexDigits + 1];
+    std::snprintf(hex, sizeof(hex), "%08x", crc32(body));
+    return body + "\t" + kCrcMarker + hex;
+}
+
+LineCheck
+splitCrcSuffix(const std::string &line, std::string &body)
+{
+    const std::size_t marker_len = std::strlen(kCrcMarker);
+    const std::size_t suffix_len = 1 + marker_len + kCrcHexDigits;
+    if (line.size() < suffix_len ||
+        line[line.size() - suffix_len] != '\t' ||
+        line.compare(line.size() - suffix_len + 1, marker_len,
+                     kCrcMarker) != 0) {
+        body = line;
+        return LineCheck::Legacy;
+    }
+    body = line.substr(0, line.size() - suffix_len);
+    char hex[kCrcHexDigits + 1];
+    std::snprintf(hex, sizeof(hex), "%08x", crc32(body));
+    return line.compare(line.size() - kCrcHexDigits, kCrcHexDigits,
+                        hex) == 0
+               ? LineCheck::Ok
+               : LineCheck::Mismatch;
 }
 
 // ---------------------------------------------------------------------------
@@ -291,36 +366,67 @@ ResultStore::merge(const ResultStore &other)
 std::size_t
 ResultStore::loadFile(const std::string &path)
 {
+    return loadFileOutcome(path).loaded;
+}
+
+ResultStore::FileOutcome
+ResultStore::loadFileOutcome(const std::string &path)
+{
+    FileOutcome outcome;
     std::ifstream file(path);
     if (!file) {
         COOPSIM_WARN("cannot open result store file '", path,
                      "'; skipped");
-        return 0;
+        outcome.open_failed = true;
+        return outcome;
     }
     std::string line;
     if (!std::getline(file, line) || line != kStoreMagic) {
         COOPSIM_WARN(path, ": not a coopsim result store (expected '",
                      kStoreMagic, "' header); skipped");
-        return 0;
+        outcome.bad_magic = true;
+        return outcome;
     }
-    std::size_t loaded = 0;
+    std::size_t skipped = 0;
+    std::size_t legacy = 0;
     std::size_t lineno = 1;
+    std::string body;
     while (std::getline(file, line)) {
         ++lineno;
         if (line.empty() || line[0] == '#') {
             continue;
         }
-        sim::RunKey key;
-        sim::RunResult result;
-        if (!tryParseStoreLine(line, key, result)) {
+        ++outcome.candidates;
+        const LineCheck check = splitCrcSuffix(line, body);
+        if (check == LineCheck::Mismatch) {
             COOPSIM_WARN(path, ":", lineno,
-                         ": corrupt or truncated store line skipped");
+                         ": store line fails its CRC32; skipped");
+            ++skipped;
             continue;
         }
+        sim::RunKey key;
+        sim::RunResult result;
+        if (!tryParseStoreLine(body, key, result)) {
+            COOPSIM_WARN(path, ":", lineno,
+                         ": corrupt or truncated store line skipped");
+            ++skipped;
+            continue;
+        }
+        if (check == LineCheck::Legacy) {
+            ++legacy;
+        }
         put(key, result);
-        ++loaded;
+        ++outcome.loaded;
     }
-    return loaded;
+    if (legacy > 0) {
+        COOPSIM_WARN(path, ": ", legacy,
+                     " pre-CRC store line(s) loaded without checksum "
+                     "protection (re-save to upgrade)");
+    }
+    lines_loaded_.fetch_add(outcome.loaded, std::memory_order_relaxed);
+    lines_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+    lines_legacy_.fetch_add(legacy, std::memory_order_relaxed);
+    return outcome;
 }
 
 std::size_t
@@ -341,13 +447,56 @@ ResultStore::loadDir(const std::string &dir)
     std::sort(paths.begin(), paths.end());
     std::size_t loaded = 0;
     for (const std::string &path : paths) {
-        loaded += loadFile(path);
+        const FileOutcome outcome = loadFileOutcome(path);
+        loaded += outcome.loaded;
+        // Quarantine a file that contributed nothing despite holding
+        // content: renamed out of the *.coopstore glob so one
+        // poisoned shard file cannot warn-spam every later load —
+        // and stays on disk for post-mortems. A legitimately empty
+        // store (magic only) is left alone.
+        const bool poisoned =
+            outcome.bad_magic ||
+            (outcome.candidates > 0 && outcome.loaded == 0);
+        if (poisoned && !outcome.open_failed) {
+            const std::string quarantined = path + ".quarantined";
+            fs::rename(path, quarantined, ec);
+            if (ec) {
+                COOPSIM_WARN("cannot quarantine '", path, "': ",
+                             ec.message());
+            } else {
+                COOPSIM_WARN(path, ": no valid store lines; "
+                             "quarantined as '", quarantined, "'");
+            }
+            files_quarantined_.fetch_add(1, std::memory_order_relaxed);
+        }
     }
     return loaded;
 }
 
+ResultStore::Stats
+ResultStore::stats() const
+{
+    Stats stats;
+    stats.lines_loaded = lines_loaded_.load(std::memory_order_relaxed);
+    stats.lines_skipped =
+        lines_skipped_.load(std::memory_order_relaxed);
+    stats.lines_legacy = lines_legacy_.load(std::memory_order_relaxed);
+    stats.files_quarantined =
+        files_quarantined_.load(std::memory_order_relaxed);
+    return stats;
+}
+
 void
 ResultStore::save(const std::string &path) const
+{
+    std::string error;
+    if (!trySave(path, error)) {
+        COOPSIM_FATAL(error);
+    }
+}
+
+bool
+ResultStore::trySave(const std::string &path, std::string &error) const
 {
     namespace fs = std::filesystem;
     std::vector<std::string> lines;
@@ -360,38 +509,107 @@ ResultStore::save(const std::string &path) const
     }
     // Sorted lines make the file content a function of the entry set
     // alone, not of the (parallel, nondeterministic) completion order.
+    // Sorting happens before the CRC suffix is appended so the order
+    // is defined by the key encoding, never by checksum bytes.
     std::sort(lines.begin(), lines.end());
+
+    std::string content = kStoreMagic;
+    content += "\n";
+    for (const std::string &line : lines) {
+        content += withCrcSuffix(line);
+        content += "\n";
+    }
+
+    // Deterministic fault injection (supervise/fault.hpp): each fires
+    // at most once per arming, at this exact point, so tests can
+    // assert the loader's exact skip counts and the supervisor's
+    // retry-on-invalid-shard behaviour.
+    if (supervise::consumeFault(supervise::FaultKind::CorruptStore) &&
+        !lines.empty()) {
+        // Flip the last CRC digit of the first entry line: the line
+        // still parses structurally but fails its checksum.
+        const std::size_t pos = content.find('\n') + 1;
+        const std::size_t crc_end =
+            content.find('\n', pos) - 1;
+        content[crc_end] = content[crc_end] == '0' ? '1' : '0';
+    }
+    if (supervise::consumeFault(supervise::FaultKind::PartialWrite)) {
+        // A torn write: half the content, cut mid-line, but still
+        // renamed into place as if the writer died after the rename
+        // was queued.
+        content.resize(content.size() / 2);
+    }
 
     const fs::path target(path);
     std::error_code ec;
     if (target.has_parent_path()) {
         fs::create_directories(target.parent_path(), ec);
         if (ec) {
-            COOPSIM_FATAL("cannot create store directory '",
-                          target.parent_path().string(), "': ",
-                          ec.message());
+            error = "cannot create store directory '" +
+                    target.parent_path().string() +
+                    "': " + ec.message();
+            return false;
         }
     }
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            COOPSIM_FATAL("cannot write store file '", tmp, "'");
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        error = "cannot write store file '" + tmp +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    std::size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            error = "write to store file '" + tmp +
+                    "' failed: " + std::strerror(errno) +
+                    " (partial temp file left at '" + tmp + "')";
+            ::close(fd);
+            return false;
         }
-        out << kStoreMagic << "\n";
-        for (const std::string &line : lines) {
-            out << line << "\n";
-        }
-        out.flush();
-        if (!out) {
-            COOPSIM_FATAL("write to store file '", tmp, "' failed");
-        }
+        written += static_cast<std::size_t>(n);
+    }
+    // fsync before rename: the rename must never publish a file whose
+    // data is still only in the page cache — a power cut after an
+    // unsynced rename is exactly the torn store this layer defends
+    // against.
+    if (::fsync(fd) != 0) {
+        error = "fsync of store file '" + tmp +
+                "' failed: " + std::strerror(errno) +
+                " (temp file left at '" + tmp + "')";
+        ::close(fd);
+        return false;
+    }
+    if (::close(fd) != 0) {
+        error = "close of store file '" + tmp +
+                "' failed: " + std::strerror(errno) +
+                " (temp file left at '" + tmp + "')";
+        return false;
     }
     fs::rename(tmp, target, ec);
     if (ec) {
-        COOPSIM_FATAL("cannot rename '", tmp, "' over '", path, "': ",
-                      ec.message());
+        // The flushed temp file holds every result; losing the
+        // rename must not lose the data, so say exactly where it is.
+        error = "cannot rename '" + tmp + "' over '" + path +
+                "': " + ec.message() +
+                " (results preserved in '" + tmp + "')";
+        return false;
     }
+    // Best-effort directory fsync so the rename itself is durable.
+    if (target.has_parent_path()) {
+        const int dir_fd =
+            ::open(target.parent_path().c_str(),
+                   O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+        if (dir_fd >= 0) {
+            ::fsync(dir_fd);
+            ::close(dir_fd);
+        }
+    }
+    return true;
 }
 
 } // namespace coopsim::store

@@ -8,16 +8,25 @@
  * persisted, shipped and folded back together. A ResultStore is that
  * persistence layer:
  *
- *  - each entry is one line, `formatRunKey(k) '\t' formatResult(r)` —
- *    the canonical RunKey encoding (api/spec.hpp) is the merge key, so
- *    any two stores produced by any two hosts can be combined;
- *  - files are written atomically (write to `<path>.tmp`, then
- *    rename), so a reader never observes a half-written store and a
- *    crashed writer leaves the previous file intact;
+ *  - each entry is one line, `formatRunKey(k) '\t' formatResult(r)
+ *    '\t' #crc32=XXXXXXXX` — the canonical RunKey encoding
+ *    (api/spec.hpp) is the merge key, so any two stores produced by
+ *    any two hosts can be combined, and the CRC32 suffix detects
+ *    torn or bit-flipped lines that still parse structurally (lines
+ *    written before the CRC era load with a warning, counted in
+ *    Stats::lines_legacy);
+ *  - files are written durably and atomically (write to `<path>.tmp`,
+ *    fsync, then rename), so a reader never observes a half-written
+ *    store and a crashed writer leaves the previous file intact;
+ *    trySave() is the non-fatal variant the atexit save uses — a
+ *    failed write or rename (ENOSPC, read-only fs) reports the
+ *    preserved temp file instead of losing results or exiting;
  *  - loading merges with last-writer-wins dedup (later files/lines
- *    replace earlier entries for the same key), and corrupt or
- *    truncated lines are skipped with a warning instead of poisoning
- *    the store;
+ *    replace earlier entries for the same key), corrupt or truncated
+ *    lines are skipped with a warning instead of poisoning the store
+ *    (counted in Stats::lines_skipped), and loadDir() quarantines
+ *    files that yield zero valid lines (renamed to
+ *    `<file>.quarantined` so they stop matching the store glob);
  *  - sim::RunExecutor::attachStore() serves cache hits from a store
  *    before any simulation is enqueued and records every completed
  *    run back into it, turning repeated sweeps into O(cache misses).
@@ -37,7 +46,9 @@
 #ifndef COOPSIM_STORE_RESULT_STORE_HPP
 #define COOPSIM_STORE_RESULT_STORE_HPP
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -61,6 +72,30 @@ inline constexpr const char *kMergedFileName = "results.coopstore";
 
 /** The file `--shard=I/N` persists its slice to ("shard-0of2.coopstore"). */
 std::string shardFileName(unsigned index, unsigned count);
+
+/** CRC-32 (IEEE 802.3, the zlib polynomial) of @p data. */
+std::uint32_t crc32(const std::string &data);
+
+/** `<body>\t#crc32=XXXXXXXX` — the suffixed store line save() emits;
+ *  the checksum covers exactly @p body. */
+std::string withCrcSuffix(const std::string &body);
+
+/** Classification of one store line's checksum trailer. */
+enum class LineCheck
+{
+    /** CRC suffix present and matching; @p body holds the line
+     *  without it. */
+    Ok,
+    /** No CRC suffix (a pre-CRC store); the whole line is the body
+     *  and loads normally, counted as legacy. */
+    Legacy,
+    /** CRC suffix present but wrong — the line is corrupt even if it
+     *  would still parse. */
+    Mismatch,
+};
+
+/** Splits and verifies the `\t#crc32=` trailer of @p line. */
+LineCheck splitCrcSuffix(const std::string &line, std::string &body);
 
 /** Canonical single-line encoding of every RunResult field (doubles
  *  round-trip bit-exactly). */
@@ -91,6 +126,21 @@ bool tryParseStoreLine(const std::string &line, sim::RunKey &key,
 class ResultStore
 {
   public:
+    /** Load-health counters, cumulative over every loadFile/loadDir
+     *  call on this store (the CLI surfaces them on stderr). */
+    struct Stats
+    {
+        /** Entry lines loaded successfully. */
+        std::uint64_t lines_loaded = 0;
+        /** Corrupt, truncated or CRC-mismatched lines skipped. */
+        std::uint64_t lines_skipped = 0;
+        /** Pre-CRC lines loaded (old stores; still trusted). */
+        std::uint64_t lines_legacy = 0;
+        /** Files loadDir() renamed to `.quarantined` because no line
+         *  in them was valid (bad magic or all lines corrupt). */
+        std::uint64_t files_quarantined = 0;
+    };
+
     /** Inserts or replaces (last-writer-wins) the entry for @p key. */
     void put(const sim::RunKey &key, const sim::RunResult &result);
 
@@ -119,22 +169,60 @@ class ResultStore
      */
     std::size_t loadFile(const std::string &path);
 
-    /** loadFile() on every `*.coopstore` in @p dir, in lexical
-     *  filename order (later files win). Missing dir loads nothing. */
+    /**
+     * loadFile() on every `*.coopstore` in @p dir, in lexical
+     * filename order (later files win). Missing dir loads nothing.
+     * A file that yields zero valid lines despite having candidate
+     * lines (or lacks the magic header) is quarantined: renamed to
+     * `<file>.quarantined` — out of the store glob, so a poisoned
+     * shard file cannot re-trip every later load or be clobbered
+     * silently — and counted in Stats::files_quarantined.
+     */
     std::size_t loadDir(const std::string &dir);
 
     /**
-     * Atomically writes the whole store to @p path: the content goes
-     * to `<path>.tmp` first and is renamed over @p path only after a
-     * successful flush. Parent directories are created as needed.
+     * Atomically and durably writes the whole store to @p path: the
+     * content goes to `<path>.tmp` first and is renamed over @p path
+     * only after a successful write + fsync. Parent directories are
+     * created as needed. Fatal on failure (see trySave()).
      */
     void save(const std::string &path) const;
 
+    /**
+     * save() without the fatal: returns false and fills @p error on
+     * any write/flush/rename failure. When the data reached the temp
+     * file but could not be renamed into place (ENOSPC on the target,
+     * read-only directory), the temp file is left on disk and named
+     * in @p error so the results remain recoverable — the atexit
+     * store save reports this loudly instead of dying or silently
+     * losing the sweep.
+     */
+    bool trySave(const std::string &path, std::string &error) const;
+
+    /** Cumulative load-health counters. */
+    Stats stats() const;
+
   private:
+    /** Per-file outcome loadDir() bases its quarantine decision on. */
+    struct FileOutcome
+    {
+        std::size_t loaded = 0;
+        /** Non-comment, non-blank lines seen. */
+        std::size_t candidates = 0;
+        bool open_failed = false;
+        bool bad_magic = false;
+    };
+
+    FileOutcome loadFileOutcome(const std::string &path);
+
     mutable std::mutex mutex_;
     /** Insertion-ordered entries; index_ maps key -> position. */
     std::vector<std::pair<sim::RunKey, sim::RunResult>> entries_;
     std::unordered_map<sim::RunKey, std::size_t, sim::RunKeyHash> index_;
+    std::atomic<std::uint64_t> lines_loaded_{0};
+    std::atomic<std::uint64_t> lines_skipped_{0};
+    std::atomic<std::uint64_t> lines_legacy_{0};
+    std::atomic<std::uint64_t> files_quarantined_{0};
 };
 
 } // namespace coopsim::store

@@ -1,0 +1,158 @@
+#include "supervise/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "api/parse_util.hpp"
+#include "common/logging.hpp"
+
+namespace coopsim::supervise
+{
+
+namespace
+{
+
+/** The one armed fault; workers arm at most one per process. */
+FaultKind g_armed = FaultKind::None;
+
+FaultKind
+kindByName(const std::string &name)
+{
+    if (name == "crash") {
+        return FaultKind::Crash;
+    }
+    if (name == "hang") {
+        return FaultKind::Hang;
+    }
+    if (name == "corrupt-store") {
+        return FaultKind::CorruptStore;
+    }
+    if (name == "partial-write") {
+        return FaultKind::PartialWrite;
+    }
+    return FaultKind::None;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Crash:
+        return "crash";
+    case FaultKind::Hang:
+        return "hang";
+    case FaultKind::CorruptStore:
+        return "corrupt-store";
+    case FaultKind::PartialWrite:
+        return "partial-write";
+    case FaultKind::None:
+        break;
+    }
+    return "none";
+}
+
+bool
+tryParseFaultSpec(const std::string &text, FaultSpec &out,
+                  std::string &error)
+{
+    const std::size_t first = text.find(':');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : text.find(':', first + 1);
+    if (second == std::string::npos ||
+        text.find(':', second + 1) != std::string::npos) {
+        error = "expected <kind>:<shard>:<attempt>, got '" + text + "'";
+        return false;
+    }
+    const std::string kind_name = text.substr(0, first);
+    const FaultKind kind = kindByName(kind_name);
+    if (kind == FaultKind::None) {
+        error = "unknown fault kind '" + kind_name +
+                "' (known: crash, hang, corrupt-store, partial-write)";
+        return false;
+    }
+    std::uint64_t shard = 0;
+    std::uint64_t attempt = 0;
+    if (!api::detail::tryParseUint(
+            text.substr(first + 1, second - first - 1), shard)) {
+        error = "invalid fault shard in '" + text + "'";
+        return false;
+    }
+    if (!api::detail::tryParseUint(text.substr(second + 1), attempt) ||
+        attempt < 1) {
+        error = "invalid fault attempt in '" + text +
+                "' (attempts are 1-based)";
+        return false;
+    }
+    out.kind = kind;
+    out.shard = static_cast<unsigned>(shard);
+    out.attempt = static_cast<unsigned>(attempt);
+    return true;
+}
+
+void
+armFaultsFromEnv(unsigned shard, unsigned attempt)
+{
+    const char *env = std::getenv(kFaultEnv);
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    FaultSpec spec;
+    std::string error;
+    if (!tryParseFaultSpec(env, spec, error)) {
+        COOPSIM_FATAL("invalid ", kFaultEnv, " value: ", error);
+    }
+    if (spec.shard == shard && spec.attempt == attempt) {
+        g_armed = spec.kind;
+        COOPSIM_WARN("fault '", faultKindName(spec.kind),
+                     "' armed for shard ", shard, " attempt ", attempt);
+    }
+}
+
+void
+armFault(FaultKind kind)
+{
+    g_armed = kind;
+}
+
+void
+disarmFaults()
+{
+    g_armed = FaultKind::None;
+}
+
+FaultKind
+armedFault()
+{
+    return g_armed;
+}
+
+bool
+consumeFault(FaultKind kind)
+{
+    if (g_armed != kind) {
+        return false;
+    }
+    g_armed = FaultKind::None;
+    return true;
+}
+
+void
+workerCheckpoint()
+{
+    if (g_armed == FaultKind::Crash) {
+        // Skip atexit handlers and stack unwinding: a real crash does
+        // not flush stores on the way out, and neither must this one.
+        std::_Exit(kCrashExitCode);
+    }
+    if (g_armed == FaultKind::Hang) {
+        for (;;) {
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+    }
+}
+
+} // namespace coopsim::supervise

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic fault injection for shard supervision.
+ *
+ * The supervisor's recovery behaviour (retry on crash, kill-and-retry
+ * on hang, re-run on a torn or corrupted shard store) is only
+ * testable if failures can be provoked at exact, repeatable points.
+ * The contract is one environment variable:
+ *
+ *     COOPSIM_FAULT=<kind>:<shard>:<attempt>
+ *
+ * with kinds `crash`, `hang`, `corrupt-store` and `partial-write`.
+ * A shard worker arms the fault iff its own shard index and attempt
+ * number (the supervisor exports COOPSIM_ATTEMPT; 1 when absent)
+ * match the spec — so `crash:1:1` kills shard 1 exactly once and its
+ * retry succeeds, fully deterministically, which is what lets CI
+ * assert byte-identical recovery.
+ *
+ * Injection points are fixed:
+ *  - `crash` / `hang` fire at the worker checkpoint
+ *    (workerCheckpoint()), placed in the shard worker between
+ *    computing its slice and saving the shard store;
+ *  - `corrupt-store` / `partial-write` fire inside
+ *    store::ResultStore save (consumeFault(); each fires at most
+ *    once per arming).
+ *
+ * Nothing here is armed unless COOPSIM_FAULT is set and
+ * armFaultsFromEnv() is called with a matching identity; the
+ * supervisor itself and unsharded runs never arm faults.
+ */
+
+#ifndef COOPSIM_SUPERVISE_FAULT_HPP
+#define COOPSIM_SUPERVISE_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace coopsim::supervise
+{
+
+enum class FaultKind : std::uint8_t
+{
+    None,
+    /** _Exit(kCrashExitCode) at the worker checkpoint. */
+    Crash,
+    /** Sleep forever at the worker checkpoint (until the
+     *  supervisor's per-shard timeout kills the process). */
+    Hang,
+    /** Flip one CRC digit of the first line written by the next
+     *  store save (the line fails its checksum on load). */
+    CorruptStore,
+    /** Truncate the next store save mid-line (a torn write that
+     *  still renames into place). */
+    PartialWrite,
+};
+
+/** Exit status a `crash` fault terminates the worker with. */
+inline constexpr int kCrashExitCode = 43;
+
+/** The fault contract variable, `<kind>:<shard>:<attempt>`. */
+inline constexpr const char *kFaultEnv = "COOPSIM_FAULT";
+
+/** Attempt number the supervisor exports to each worker (1-based;
+ *  a worker run outside the supervisor counts as attempt 1). */
+inline constexpr const char *kAttemptEnv = "COOPSIM_ATTEMPT";
+
+/** One parsed COOPSIM_FAULT value. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::None;
+    /** Shard index the fault targets. */
+    unsigned shard = 0;
+    /** 1-based attempt number the fault targets. */
+    unsigned attempt = 1;
+
+    bool operator==(const FaultSpec &) const = default;
+};
+
+/** Registry-style name of @p kind ("crash", "corrupt-store", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Strict parse of `<kind>:<shard>:<attempt>`; on failure returns
+ *  false and fills @p error with a description. */
+bool tryParseFaultSpec(const std::string &text, FaultSpec &out,
+                       std::string &error);
+
+/**
+ * Shard-worker entry point: reads COOPSIM_FAULT (a malformed value is
+ * a descriptive fatal — a typo'd fault spec must not silently run
+ * fault-free) and arms its fault iff @p shard and @p attempt match.
+ * Call once, as soon as the worker knows its identity.
+ */
+void armFaultsFromEnv(unsigned shard, unsigned attempt);
+
+/** Arms @p kind directly (tests). */
+void armFault(FaultKind kind);
+
+/** Disarms any armed fault (tests, and process cleanup). */
+void disarmFaults();
+
+/** The currently armed fault kind (None when disarmed). */
+FaultKind armedFault();
+
+/** True — and disarms — iff @p kind is armed. The save-path faults
+ *  consume themselves so they fire exactly once per arming. */
+bool consumeFault(FaultKind kind);
+
+/** The crash/hang injection point: `crash` terminates the process
+ *  with kCrashExitCode, `hang` sleeps until killed; any other state
+ *  is a no-op. */
+void workerCheckpoint();
+
+} // namespace coopsim::supervise
+
+#endif // COOPSIM_SUPERVISE_FAULT_HPP

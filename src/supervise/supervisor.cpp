@@ -1,0 +1,293 @@
+#include "supervise/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace coopsim::supervise
+{
+
+namespace
+{
+
+/** splitmix64 finaliser — the deterministic jitter source. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+unsigned
+backoffDelayMs(const RetryPolicy &policy, unsigned shard,
+               unsigned attempt)
+{
+    if (attempt <= 1) {
+        return 0;
+    }
+    const unsigned doublings = std::min(attempt - 2, 20u);
+    std::uint64_t delay =
+        static_cast<std::uint64_t>(policy.base_delay_ms) << doublings;
+    delay = std::min<std::uint64_t>(delay, policy.max_delay_ms);
+    const std::uint64_t span = delay / 4;
+    if (span > 0) {
+        delay += mix64((static_cast<std::uint64_t>(shard) << 32) |
+                       attempt) %
+                 (span + 1);
+    }
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(delay, policy.max_delay_ms));
+}
+
+ProcessResult
+runProcess(const std::vector<std::string> &argv,
+           const std::vector<std::string> &extra_env, double timeout_s,
+           const std::string &log_path)
+{
+    using clock = std::chrono::steady_clock;
+    ProcessResult result;
+    COOPSIM_ASSERT(!argv.empty(), "runProcess needs a binary");
+
+    const clock::time_point start = clock::now();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        COOPSIM_WARN("fork failed: ", std::strerror(errno));
+        return result;
+    }
+    if (pid == 0) {
+        // Child. Only async-signal-safe-ish work before exec: the
+        // process group, the redirect, the env exports, the exec
+        // itself. The new group lets the timeout kill reach any
+        // grandchildren too — an orphaned helper keeping the log (or
+        // a pipe) open would outlive the worker otherwise.
+        ::setpgid(0, 0);
+        if (!log_path.empty()) {
+            const int fd =
+                ::open(log_path.c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+            if (fd < 0) {
+                // Never run with the parent's streams: worker output
+                // on the supervisor's stdout would break the
+                // bit-identical-table contract. Fail the attempt.
+                std::fprintf(stderr, "cannot open log '%s': %s\n",
+                             log_path.c_str(), std::strerror(errno));
+                std::_Exit(126);
+            }
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            ::close(fd);
+        }
+        for (const std::string &kv : extra_env) {
+            // Leaked on purpose: putenv keeps the pointer, and exec
+            // replaces the image anyway.
+            ::putenv(::strdup(kv.c_str()));
+        }
+        std::vector<char *> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string &arg : argv) {
+            args.push_back(const_cast<char *>(arg.c_str()));
+        }
+        args.push_back(nullptr);
+        ::execvp(args[0], args.data());
+        std::fprintf(stderr, "exec '%s' failed: %s\n", args[0],
+                     std::strerror(errno));
+        std::_Exit(127);
+    }
+
+    // Parent: poll-reap so a hung worker can be killed at the
+    // deadline (no SIGCHLD machinery to interfere with the caller).
+    const bool has_timeout = timeout_s > 0.0;
+    const clock::time_point deadline =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(
+                        has_timeout ? timeout_s : 0.0));
+    int status = 0;
+    for (;;) {
+        const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+        if (reaped == pid) {
+            break;
+        }
+        if (reaped < 0) {
+            COOPSIM_WARN("waitpid failed: ", std::strerror(errno));
+            result.wall_s = std::chrono::duration<double>(
+                                clock::now() - start)
+                                .count();
+            return result;
+        }
+        if (has_timeout && clock::now() >= deadline) {
+            // Kill the whole group (see setpgid above); the direct
+            // kill is the fallback for the exec-raced window where
+            // the group might not exist yet.
+            ::kill(-pid, SIGKILL);
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            result.timed_out = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (WIFEXITED(status)) {
+        result.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        result.exit_code = 128 + WTERMSIG(status);
+    }
+    result.wall_s =
+        std::chrono::duration<double>(clock::now() - start).count();
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Supervision state machine
+
+bool
+SuperviseReport::allSucceeded() const
+{
+    for (const ShardReport &shard : shards) {
+        if (!shard.succeeded) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<unsigned>
+SuperviseReport::failedShards() const
+{
+    std::vector<unsigned> failed;
+    for (const ShardReport &shard : shards) {
+        if (!shard.succeeded) {
+            failed.push_back(shard.shard);
+        }
+    }
+    return failed;
+}
+
+std::size_t
+SuperviseReport::totalAttempts() const
+{
+    std::size_t total = 0;
+    for (const ShardReport &shard : shards) {
+        total += shard.attempts.size();
+    }
+    return total;
+}
+
+namespace
+{
+
+ShardReport
+superviseOneShard(unsigned shard, const RetryPolicy &policy,
+                  const LaunchFn &launch, const ValidateFn &validate,
+                  const SleepFn &sleep_fn)
+{
+    ShardReport report;
+    report.shard = shard;
+    const unsigned max_attempts = std::max(policy.max_attempts, 1u);
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            const unsigned delay =
+                backoffDelayMs(policy, shard, attempt);
+            if (sleep_fn) {
+                sleep_fn(delay);
+            } else if (delay > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            }
+        }
+        AttemptRecord record;
+        record.attempt = attempt;
+        const ProcessResult outcome = launch(shard, attempt);
+        record.exit_code = outcome.exit_code;
+        record.timed_out = outcome.timed_out;
+        record.wall_s = outcome.wall_s;
+        if (outcome.exit_code == 0 && !outcome.timed_out) {
+            std::string why;
+            if (!validate || validate(shard, why)) {
+                report.attempts.push_back(record);
+                report.succeeded = true;
+                return report;
+            }
+            record.invalid_store = true;
+            COOPSIM_WARN("shard ", shard, " attempt ", attempt,
+                         " produced an invalid store: ", why);
+        }
+        report.attempts.push_back(record);
+    }
+    return report;
+}
+
+} // namespace
+
+SuperviseReport
+superviseShards(unsigned shard_count, const RetryPolicy &policy,
+                const LaunchFn &launch, const ValidateFn &validate,
+                const SleepFn &sleep_fn)
+{
+    SuperviseReport report;
+    report.shards.resize(shard_count);
+    // One monitor thread per shard: each spends its life blocked in
+    // waitpid/sleep, so even large shard counts cost threads, not
+    // CPU. Attempts of one shard stay sequential.
+    std::vector<std::thread> monitors;
+    monitors.reserve(shard_count);
+    for (unsigned shard = 0; shard < shard_count; ++shard) {
+        monitors.emplace_back([&, shard] {
+            report.shards[shard] = superviseOneShard(
+                shard, policy, launch, validate, sleep_fn);
+        });
+    }
+    for (std::thread &monitor : monitors) {
+        monitor.join();
+    }
+    return report;
+}
+
+void
+printSuperviseReport(const SuperviseReport &report, std::FILE *out)
+{
+    std::size_t ok = 0;
+    double wall = 0.0;
+    for (const ShardReport &shard : report.shards) {
+        ok += shard.succeeded ? 1 : 0;
+        for (const AttemptRecord &attempt : shard.attempts) {
+            wall += attempt.wall_s;
+        }
+    }
+    std::fprintf(out,
+                 "# supervise: %zu shards, %zu attempts, %zu ok, %zu "
+                 "failed, worker wall %.2fs\n",
+                 report.shards.size(), report.totalAttempts(), ok,
+                 report.shards.size() - ok, wall);
+    for (const ShardReport &shard : report.shards) {
+        std::string detail;
+        for (const AttemptRecord &attempt : shard.attempts) {
+            char buf[96];
+            const char *why = attempt.timed_out      ? "timeout"
+                              : attempt.invalid_store ? "invalid-store"
+                                                      : "exit";
+            std::snprintf(buf, sizeof(buf), "%sattempt %u: %s=%d %.2fs",
+                          detail.empty() ? "" : "; ", attempt.attempt,
+                          why, attempt.exit_code, attempt.wall_s);
+            detail += buf;
+        }
+        std::fprintf(out, "# supervise: shard %u: %s after %zu "
+                          "attempt(s) [%s]\n",
+                     shard.shard, shard.succeeded ? "ok" : "FAILED",
+                     shard.attempts.size(), detail.c_str());
+    }
+}
+
+} // namespace coopsim::supervise

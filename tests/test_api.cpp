@@ -337,6 +337,79 @@ TEST(Cli, ParsesAllowedFlagsAndValidatesValues)
     setThrowOnFatal(false);
 }
 
+TEST(Cli, ShardFlagParsesStrictlyAndRejectsBadSlices)
+{
+    {
+        const char *argv[] = {"cli", "--shard=2/5"};
+        const CliOptions options =
+            parseCli(2, const_cast<char **>(argv), kAllFlags, "");
+        EXPECT_TRUE(options.shard_set);
+        EXPECT_EQ(options.shard_index, 2u);
+        EXPECT_EQ(options.shard_count, 5u);
+    }
+    setThrowOnFatal(true);
+    for (const char *value :
+         {"--shard=2/2",     // index must be < count
+          "--shard=5/2",     //
+          "--shard=0/0",     // zero shards
+          "--shard=0/70000", // above the 65536 cap
+          "--shard=x/2",     // non-numeric index
+          "--shard=0/y",     // non-numeric count
+          "--shard=-1/2",    // negative (would wrap via strtoull)
+          "--shard=02",      // missing slash
+          "--shard=/2",      // empty index
+          "--shard=0/",      // empty count
+          "--shard="}) {
+        const char *argv[] = {"cli", value};
+        EXPECT_THROW(
+            parseCli(2, const_cast<char **>(argv), kAllFlags, ""),
+            FatalError)
+            << value;
+    }
+    setThrowOnFatal(false);
+}
+
+TEST(Cli, SuperviseFlagsParseAndValidate)
+{
+    {
+        const char *argv[] = {"cli", "--supervise", "--shards=8",
+                              "--shard-timeout=2.5",
+                              "--shard-retries=5"};
+        const CliOptions options =
+            parseCli(5, const_cast<char **>(argv), kAllFlags, "");
+        EXPECT_TRUE(options.supervise);
+        EXPECT_EQ(options.shards, 8u);
+        EXPECT_EQ(options.shard_timeout_s, 2.5);
+        EXPECT_EQ(options.shard_retries, 5u);
+    }
+    {
+        // Defaults when not given.
+        const char *argv[] = {"cli", "--supervise"};
+        const CliOptions options =
+            parseCli(2, const_cast<char **>(argv), kAllFlags, "");
+        EXPECT_EQ(options.shards, 0u);
+        EXPECT_EQ(options.shard_timeout_s, 900.0);
+        EXPECT_EQ(options.shard_retries, 3u);
+    }
+    setThrowOnFatal(true);
+    for (const char *value :
+         {"--shards=0", "--shards=70000", "--shards=x",
+          "--shard-timeout=-1", "--shard-timeout=abc",
+          "--shard-retries=0", "--shard-retries=101"}) {
+        const char *argv[] = {"cli", value};
+        EXPECT_THROW(
+            parseCli(2, const_cast<char **>(argv), kAllFlags, ""),
+            FatalError)
+            << value;
+    }
+    // A bench that did not opt into supervision rejects the flags.
+    const char *argv[] = {"bench", "--supervise"};
+    EXPECT_THROW(
+        parseCli(2, const_cast<char **>(argv), kBenchFlags, ""),
+        FatalError);
+    setThrowOnFatal(false);
+}
+
 TEST(Cli, LenientModeSkipsFlagsOtherBinariesOwn)
 {
     // The deprecated sim::scaleFromArgs shim must keep tolerating a
@@ -434,4 +507,55 @@ TEST(Experiment, CustomSchemeRunsThroughTheExecutorByName)
         EXPECT_EQ(a.apps[i].ipc, b.apps[i].ipc); // ...same simulation
     }
     EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+TEST(Experiment, WorkerExceptionsBecomeRunFailuresNotPoolDeaths)
+{
+    // A scheme whose LLC factory throws: the worker catches at the
+    // task boundary and the future rethrows a RunFailure naming the
+    // key — the pool itself must survive.
+    if (!schemeRegistry().contains("faulty")) {
+        registerScheme("faulty", "Faulty",
+                       [](const llc::LlcConfig &,
+                          mem::DramModel &) -> std::unique_ptr<llc::BaseLlc> {
+                           throw std::runtime_error("factory exploded");
+                       });
+    }
+
+    sim::RunOptions options;
+    options.scale = sim::RunScale::Test;
+    sim::RunKey bad = sim::groupKey(llc::Scheme::FairShare,
+                                    trace::groupByName("G2-10"), options);
+    bad.scheme = "faulty";
+
+    auto recording = std::make_shared<store::ResultStore>();
+    sim::RunExecutor executor(2);
+    executor.attachStore(recording);
+    try {
+        executor.run(bad);
+        FAIL() << "expected RunFailure";
+    } catch (const sim::RunFailure &failure) {
+        EXPECT_EQ(failure.key(), bad);
+        const std::string what = failure.what();
+        EXPECT_NE(what.find("factory exploded"), std::string::npos);
+        EXPECT_NE(what.find(formatRunKey(bad)), std::string::npos);
+    }
+    EXPECT_EQ(executor.stats().failed_runs, 1u);
+    // Nothing half-baked was recorded for the failed key.
+    EXPECT_FALSE(recording->find(bad).has_value());
+
+    // The pool is intact: a healthy run on the same executor works.
+    sim::RunKey good = bad;
+    good.scheme = "fairshare";
+    const sim::RunResult &result = executor.run(good);
+    EXPECT_FALSE(result.apps.empty());
+    // Both tasks executed (the failed one counts as a simulation),
+    // exactly one failed.
+    EXPECT_EQ(executor.stats().simulations, 2u);
+    EXPECT_EQ(executor.stats().failed_runs, 1u);
+    EXPECT_TRUE(recording->find(good).has_value());
+
+    // A consumed failure stays failed (memoised): rethrown, still
+    // exactly one failed-run count.
+    EXPECT_THROW(executor.run(bad), sim::RunFailure);
 }

@@ -20,6 +20,8 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
+#include <vector>
 
 #include <coopsim/experiment.hpp>
 
@@ -323,6 +325,219 @@ TEST(ResultStore, LoadSkipsCorruptAndTruncatedLines)
     EXPECT_EQ(none.loadFile(bogus), 0u);
     EXPECT_EQ(none.loadFile(dir + "/absent.coopstore"), 0u);
     setQuiet(false);
+}
+
+// ---------------------------------------------------------------------------
+// CRC hardening and the corruption matrix
+
+TEST(StoreCrc, ChecksumMatchesKnownVectorsAndSuffixRoundTrips)
+{
+    // CRC-32/IEEE known-answer vectors (zlib's crc32()).
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+
+    const std::string body = "group scheme=coop\tcycles=1";
+    const std::string line = withCrcSuffix(body);
+    EXPECT_EQ(line.substr(0, body.size()), body);
+
+    std::string split;
+    EXPECT_EQ(splitCrcSuffix(line, split), LineCheck::Ok);
+    EXPECT_EQ(split, body);
+    // No trailer -> legacy, whole line is the body.
+    EXPECT_EQ(splitCrcSuffix(body, split), LineCheck::Legacy);
+    EXPECT_EQ(split, body);
+    // Any flipped digit -> mismatch.
+    std::string bad = line;
+    bad.back() = bad.back() == '0' ? '1' : '0';
+    EXPECT_EQ(splitCrcSuffix(bad, split), LineCheck::Mismatch);
+}
+
+TEST(StoreCrc, SaveEmitsCrcLinesAndRoundTripsByteIdentically)
+{
+    const std::string dir = scratchDir("crc");
+    const std::string path = dir + "/a" + kStoreExtension;
+
+    ResultStore original;
+    for (unsigned n = 0; n < 4; ++n) {
+        original.put(sampleKey(n), sampleResult(n));
+    }
+    original.save(path);
+
+    // Every entry line carries a valid CRC trailer.
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, kStoreMagic);
+    std::size_t entries = 0;
+    std::string body;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(splitCrcSuffix(line, body), LineCheck::Ok) << line;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 4u);
+
+    // save -> load -> save is byte-identical (CRC suffixes included).
+    ResultStore loaded;
+    EXPECT_EQ(loaded.loadFile(path), 4u);
+    const ResultStore::Stats stats = loaded.stats();
+    EXPECT_EQ(stats.lines_loaded, 4u);
+    EXPECT_EQ(stats.lines_skipped, 0u);
+    EXPECT_EQ(stats.lines_legacy, 0u);
+    const std::string copy = dir + "/b" + kStoreExtension;
+    loaded.save(copy);
+    std::ifstream f1(path), f2(copy);
+    std::stringstream s1, s2;
+    s1 << f1.rdbuf();
+    s2 << f2.rdbuf();
+    EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(StoreCrc, CorruptionMatrixSkipsExactlyTheDamagedLines)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("matrix");
+    const std::string path = dir + "/m" + kStoreExtension;
+
+    // Five good CRC'd lines, then damage three of them in place:
+    // flip a CRC digit of line 1, interleave garbage after line 2,
+    // truncate the last line mid-body.
+    std::vector<std::string> lines;
+    ResultStore source;
+    for (unsigned n = 0; n < 5; ++n) {
+        source.put(sampleKey(n), sampleResult(n));
+        lines.push_back(withCrcSuffix(
+            formatStoreLine(sampleKey(n), sampleResult(n))));
+    }
+    lines[1].back() = lines[1].back() == 'a' ? 'b' : 'a';
+    lines.insert(lines.begin() + 3, "interleaved garbage");
+    lines.back() = lines.back().substr(0, lines.back().size() / 2);
+    {
+        std::ofstream out(path);
+        out << kStoreMagic << "\n";
+        for (const std::string &line : lines) {
+            out << line << "\n";
+        }
+    }
+
+    ResultStore loaded;
+    // Lines 0, 2, 3 survive; the flipped-CRC, garbage and truncated
+    // lines are skipped with exact counts.
+    EXPECT_EQ(loaded.loadFile(path), 3u);
+    const ResultStore::Stats stats = loaded.stats();
+    EXPECT_EQ(stats.lines_loaded, 3u);
+    EXPECT_EQ(stats.lines_skipped, 3u);
+    EXPECT_EQ(stats.lines_legacy, 0u);
+
+    // The surviving entries equal the uncorrupted subset bit-exactly.
+    for (const unsigned n : {0u, 2u, 3u}) {
+        const auto hit = loaded.find(sampleKey(n));
+        ASSERT_TRUE(hit.has_value()) << n;
+        expectIdentical(sampleResult(n), *hit);
+    }
+    EXPECT_FALSE(loaded.find(sampleKey(1)).has_value());
+    EXPECT_FALSE(loaded.find(sampleKey(4)).has_value());
+    setQuiet(false);
+}
+
+TEST(StoreCrc, LegacyLinesWithoutCrcLoadWithWarningCount)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("legacy");
+    const std::string path = dir + "/old" + kStoreExtension;
+    {
+        // A pre-CRC store: plain lines, no trailers.
+        std::ofstream out(path);
+        out << kStoreMagic << "\n";
+        out << formatStoreLine(sampleKey(0), sampleResult(0)) << "\n";
+        out << formatStoreLine(sampleKey(1), sampleResult(1)) << "\n";
+    }
+    ResultStore loaded;
+    EXPECT_EQ(loaded.loadFile(path), 2u);
+    EXPECT_EQ(loaded.stats().lines_legacy, 2u);
+    EXPECT_EQ(loaded.stats().lines_skipped, 0u);
+    expectIdentical(sampleResult(0), *loaded.find(sampleKey(0)));
+
+    // Saving rewrites the store in the CRC'd format.
+    const std::string upgraded = dir + "/new" + kStoreExtension;
+    loaded.save(upgraded);
+    ResultStore reloaded;
+    EXPECT_EQ(reloaded.loadFile(upgraded), 2u);
+    EXPECT_EQ(reloaded.stats().lines_legacy, 0u);
+    setQuiet(false);
+}
+
+TEST(StoreCrc, LoadDirQuarantinesZeroValidLineFiles)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("quarantine");
+
+    // One healthy shard file...
+    ResultStore good;
+    good.put(sampleKey(0), sampleResult(0));
+    good.save(dir + "/shard-0of2" + kStoreExtension);
+    // ...one file whose every line is corrupt...
+    const std::string poisoned = dir + "/shard-1of2" + kStoreExtension;
+    {
+        std::ofstream out(poisoned);
+        out << kStoreMagic << "\n";
+        out << "garbage line one\n";
+        out << "garbage line two\n";
+    }
+    // ...and one that is not a store at all.
+    const std::string bogus = dir + "/zz-bogus" + kStoreExtension;
+    {
+        std::ofstream out(bogus);
+        out << "not a coopsim store\n";
+    }
+
+    ResultStore merged;
+    EXPECT_EQ(merged.loadDir(dir), 1u);
+    EXPECT_EQ(merged.stats().files_quarantined, 2u);
+    EXPECT_TRUE(merged.find(sampleKey(0)).has_value());
+
+    // Quarantined files are renamed out of the store glob, so a
+    // second fold no longer sees them.
+    EXPECT_FALSE(fs::exists(poisoned));
+    EXPECT_TRUE(fs::exists(poisoned + ".quarantined"));
+    EXPECT_TRUE(fs::exists(bogus + ".quarantined"));
+    ResultStore again;
+    EXPECT_EQ(again.loadDir(dir), 1u);
+    EXPECT_EQ(again.stats().files_quarantined, 0u);
+
+    // An empty (header-only) store file is fine: zero candidates is
+    // not corruption.
+    ResultStore empty;
+    empty.save(dir + "/shard-2of3" + kStoreExtension);
+    ResultStore third;
+    EXPECT_EQ(third.loadDir(dir), 1u);
+    EXPECT_EQ(third.stats().files_quarantined, 0u);
+    setQuiet(false);
+}
+
+TEST(StoreCrc, TrySaveReportsFailureAndPreservesResults)
+{
+    const std::string dir = scratchDir("trysave");
+    ResultStore results;
+    results.put(sampleKey(0), sampleResult(0));
+
+    // Happy path returns true and leaves no temp file.
+    std::string error;
+    const std::string path = dir + "/ok" + kStoreExtension;
+    EXPECT_TRUE(results.trySave(path, error)) << error;
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+    // A target whose parent cannot be created fails with a
+    // description instead of dying (a regular file blocks the
+    // directory path).
+    const std::string blocked =
+        dir + "/ok" + kStoreExtension + "/nested" + kStoreExtension;
+    EXPECT_FALSE(results.trySave(blocked, error));
+    EXPECT_FALSE(error.empty());
+
+    // save() on the same target is the fatal variant.
+    setThrowOnFatal(true);
+    EXPECT_THROW(results.save(blocked), FatalError);
+    setThrowOnFatal(false);
 }
 
 TEST(ResultStore, LoadDirFoldsFilesInLexicalOrder)

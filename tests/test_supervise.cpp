@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the fault-tolerant shard supervisor (src/supervise/):
+ *
+ *  - the COOPSIM_FAULT spec parser accepts the four kinds and rejects
+ *    malformed specs with a descriptive error, and arming respects the
+ *    (shard, attempt) identity match;
+ *  - backoffDelayMs() is zero for the first attempt, deterministic,
+ *    grows exponentially and never exceeds the cap;
+ *  - superviseShards() drives the injected launch/validate/sleep hooks
+ *    through every recovery path: first-try success, crash-then-
+ *    recover, invalid-store retry, timeout retry, retries exhausted —
+ *    with exact attempt accounting and without aborting sibling
+ *    shards;
+ *  - runProcess() reports real exit codes, signal deaths and
+ *    SIGKILL-on-timeout for /bin/sh children, and captures their
+ *    output in the log file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "supervise/fault.hpp"
+#include "supervise/supervisor.hpp"
+
+using namespace coopsim;
+using namespace coopsim::supervise;
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Fault spec parsing and arming
+
+TEST(FaultSpec, ParsesEveryKindAndRoundTripsNames)
+{
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(tryParseFaultSpec("crash:1:2", spec, error)) << error;
+    EXPECT_EQ(spec.kind, FaultKind::Crash);
+    EXPECT_EQ(spec.shard, 1u);
+    EXPECT_EQ(spec.attempt, 2u);
+
+    for (const FaultKind kind :
+         {FaultKind::Crash, FaultKind::Hang, FaultKind::CorruptStore,
+          FaultKind::PartialWrite}) {
+        const std::string text =
+            std::string(faultKindName(kind)) + ":0:1";
+        ASSERT_TRUE(tryParseFaultSpec(text, spec, error)) << text;
+        EXPECT_EQ(spec.kind, kind);
+    }
+    EXPECT_STREQ(faultKindName(FaultKind::None), "none");
+}
+
+TEST(FaultSpec, RejectsMalformedSpecsWithDescriptiveErrors)
+{
+    FaultSpec spec;
+    std::string error;
+    // Wrong shape.
+    EXPECT_FALSE(tryParseFaultSpec("", spec, error));
+    EXPECT_FALSE(tryParseFaultSpec("crash", spec, error));
+    EXPECT_FALSE(tryParseFaultSpec("crash:1", spec, error));
+    EXPECT_FALSE(tryParseFaultSpec("crash:1:2:3", spec, error));
+    // Unknown kind names the known ones.
+    EXPECT_FALSE(tryParseFaultSpec("krash:1:1", spec, error));
+    EXPECT_NE(error.find("corrupt-store"), std::string::npos);
+    // Non-numeric / out-of-range pieces.
+    EXPECT_FALSE(tryParseFaultSpec("crash:x:1", spec, error));
+    EXPECT_FALSE(tryParseFaultSpec("crash:1:y", spec, error));
+    EXPECT_FALSE(tryParseFaultSpec("crash:-1:1", spec, error));
+    // Attempts are 1-based.
+    EXPECT_FALSE(tryParseFaultSpec("crash:1:0", spec, error));
+    EXPECT_NE(error.find("1-based"), std::string::npos);
+}
+
+TEST(FaultSpec, ArmsOnlyOnIdentityMatchAndConsumesOnce)
+{
+    setQuiet(true);
+    disarmFaults();
+    ::setenv(kFaultEnv, "corrupt-store:2:3", 1);
+
+    armFaultsFromEnv(1, 3); // wrong shard
+    EXPECT_EQ(armedFault(), FaultKind::None);
+    armFaultsFromEnv(2, 1); // wrong attempt
+    EXPECT_EQ(armedFault(), FaultKind::None);
+    armFaultsFromEnv(2, 3); // match
+    EXPECT_EQ(armedFault(), FaultKind::CorruptStore);
+
+    // consumeFault fires exactly once, and only for the armed kind.
+    EXPECT_FALSE(consumeFault(FaultKind::PartialWrite));
+    EXPECT_TRUE(consumeFault(FaultKind::CorruptStore));
+    EXPECT_FALSE(consumeFault(FaultKind::CorruptStore));
+    EXPECT_EQ(armedFault(), FaultKind::None);
+
+    // A malformed value must not silently run fault-free.
+    ::setenv(kFaultEnv, "nonsense", 1);
+    setThrowOnFatal(true);
+    EXPECT_THROW(armFaultsFromEnv(0, 1), FatalError);
+    setThrowOnFatal(false);
+
+    ::unsetenv(kFaultEnv);
+    disarmFaults();
+    setQuiet(false);
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+TEST(Backoff, FirstAttemptIsImmediateThenExponentialAndCapped)
+{
+    RetryPolicy policy;
+    policy.base_delay_ms = 100;
+    policy.max_delay_ms = 1000;
+
+    EXPECT_EQ(backoffDelayMs(policy, 0, 1), 0u);
+
+    // Deterministic: same (shard, attempt) -> same delay.
+    EXPECT_EQ(backoffDelayMs(policy, 3, 2), backoffDelayMs(policy, 3, 2));
+    // Jittered: different shards decorrelate (attempt 3's span is
+    // wide enough that at least one of these differs).
+    const unsigned a = backoffDelayMs(policy, 0, 3);
+    const unsigned b = backoffDelayMs(policy, 1, 3);
+    const unsigned c = backoffDelayMs(policy, 2, 3);
+    EXPECT_TRUE(a != b || b != c);
+
+    // Base window and growth: attempt 2 in [base, base*1.25],
+    // attempt 3 in [2*base, 2.5*base].
+    const unsigned second = backoffDelayMs(policy, 5, 2);
+    EXPECT_GE(second, 100u);
+    EXPECT_LE(second, 125u);
+    const unsigned third = backoffDelayMs(policy, 5, 3);
+    EXPECT_GE(third, 200u);
+    EXPECT_LE(third, 250u);
+
+    // Never exceeds the cap, even deep into the retry schedule.
+    for (unsigned attempt = 2; attempt < 40; ++attempt) {
+        EXPECT_LE(backoffDelayMs(policy, 7, attempt), 1000u)
+            << "attempt " << attempt;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision state machine (injected outcomes, no processes)
+
+namespace
+{
+
+ProcessResult
+exitWith(int code)
+{
+    ProcessResult r;
+    r.exit_code = code;
+    r.wall_s = 0.01;
+    return r;
+}
+
+RetryPolicy
+fastPolicy(unsigned attempts)
+{
+    RetryPolicy policy;
+    policy.max_attempts = attempts;
+    policy.base_delay_ms = 10;
+    policy.max_delay_ms = 50;
+    return policy;
+}
+
+} // namespace
+
+TEST(Supervise, AllShardsSucceedFirstTry)
+{
+    const SuperviseReport report = superviseShards(
+        4, fastPolicy(3),
+        [](unsigned, unsigned) { return exitWith(0); }, {},
+        [](unsigned) {});
+    EXPECT_TRUE(report.allSucceeded());
+    EXPECT_EQ(report.totalAttempts(), 4u);
+    EXPECT_TRUE(report.failedShards().empty());
+    for (const ShardReport &shard : report.shards) {
+        ASSERT_EQ(shard.attempts.size(), 1u);
+        EXPECT_EQ(shard.attempts[0].exit_code, 0);
+    }
+}
+
+TEST(Supervise, CrashedShardIsRetriedWithBackoffOthersUnaffected)
+{
+    std::atomic<unsigned> shard1_attempts{0};
+    std::vector<unsigned> slept;
+    std::mutex slept_mutex;
+    const SuperviseReport report = superviseShards(
+        3, fastPolicy(3),
+        [&](unsigned shard, unsigned) {
+            if (shard == 1 && ++shard1_attempts == 1) {
+                return exitWith(kCrashExitCode);
+            }
+            return exitWith(0);
+        },
+        {},
+        [&](unsigned delay) {
+            const std::lock_guard<std::mutex> lock(slept_mutex);
+            slept.push_back(delay);
+        });
+    EXPECT_TRUE(report.allSucceeded());
+    EXPECT_EQ(report.totalAttempts(), 4u);
+    EXPECT_EQ(report.shards[1].attempts.size(), 2u);
+    EXPECT_EQ(report.shards[1].attempts[0].exit_code, kCrashExitCode);
+    EXPECT_EQ(report.shards[1].attempts[1].exit_code, 0);
+    // Exactly one backoff sleep, of the deterministic delay.
+    ASSERT_EQ(slept.size(), 1u);
+    EXPECT_EQ(slept[0], backoffDelayMs(fastPolicy(3), 1, 2));
+}
+
+TEST(Supervise, InvalidStoreAndTimeoutConsumeAttempts)
+{
+    setQuiet(true);
+    // Shard 0: exits 0 but fails validation once (torn store), then
+    // passes. Shard 1: times out once, then succeeds.
+    std::atomic<unsigned> validations{0};
+    std::atomic<unsigned> shard1_attempts{0};
+    const SuperviseReport report = superviseShards(
+        2, fastPolicy(3),
+        [&](unsigned shard, unsigned) {
+            if (shard == 1 && ++shard1_attempts == 1) {
+                ProcessResult r = exitWith(128 + 9);
+                r.timed_out = true;
+                return r;
+            }
+            return exitWith(0);
+        },
+        [&](unsigned shard, std::string &why) {
+            if (shard == 0 && validations++ == 0) {
+                why = "half the slice missing";
+                return false;
+            }
+            return true;
+        },
+        [](unsigned) {});
+    setQuiet(false);
+    EXPECT_TRUE(report.allSucceeded());
+    ASSERT_EQ(report.shards[0].attempts.size(), 2u);
+    EXPECT_TRUE(report.shards[0].attempts[0].invalid_store);
+    EXPECT_FALSE(report.shards[0].attempts[1].invalid_store);
+    ASSERT_EQ(report.shards[1].attempts.size(), 2u);
+    EXPECT_TRUE(report.shards[1].attempts[0].timed_out);
+}
+
+TEST(Supervise, ExhaustedRetriesReportFailureWithoutAbortingSweep)
+{
+    const SuperviseReport report = superviseShards(
+        3, fastPolicy(2),
+        [](unsigned shard, unsigned) {
+            return exitWith(shard == 2 ? 1 : 0);
+        },
+        {}, [](unsigned) {});
+    EXPECT_FALSE(report.allSucceeded());
+    EXPECT_EQ(report.failedShards(), std::vector<unsigned>{2u});
+    // The failed shard burned every attempt; the others one each.
+    EXPECT_EQ(report.shards[2].attempts.size(), 2u);
+    EXPECT_EQ(report.totalAttempts(), 4u);
+    EXPECT_TRUE(report.shards[0].succeeded);
+    EXPECT_TRUE(report.shards[1].succeeded);
+}
+
+TEST(Supervise, ReportNamesEveryAttemptAndOutcome)
+{
+    SuperviseReport report;
+    report.shards.resize(2);
+    report.shards[0].shard = 0;
+    report.shards[0].succeeded = true;
+    report.shards[0].attempts = {{1, 0, false, false, 0.5}};
+    report.shards[1].shard = 1;
+    report.shards[1].attempts = {{1, 43, false, false, 0.1},
+                                 {2, 137, true, false, 3.0}};
+
+    char *buffer = nullptr;
+    std::size_t size = 0;
+    std::FILE *out = ::open_memstream(&buffer, &size);
+    ASSERT_NE(out, nullptr);
+    printSuperviseReport(report, out);
+    std::fclose(out);
+    const std::string text(buffer, size);
+    std::free(buffer);
+
+    EXPECT_NE(text.find("2 shards, 3 attempts, 1 ok, 1 failed"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("shard 0: ok after 1 attempt(s)"),
+              std::string::npos);
+    EXPECT_NE(text.find("shard 1: FAILED after 2 attempt(s)"),
+              std::string::npos);
+    EXPECT_NE(text.find("attempt 1: exit=43"), std::string::npos);
+    EXPECT_NE(text.find("attempt 2: timeout=137"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Real processes
+
+TEST(RunProcess, ReportsExitCodesSignalsAndTimeout)
+{
+    const ProcessResult ok =
+        runProcess({"/bin/sh", "-c", "exit 0"}, {}, 10.0);
+    EXPECT_EQ(ok.exit_code, 0);
+    EXPECT_FALSE(ok.timed_out);
+
+    const ProcessResult seven =
+        runProcess({"/bin/sh", "-c", "exit 7"}, {}, 10.0);
+    EXPECT_EQ(seven.exit_code, 7);
+
+    // Signal death is reported as 128+sig.
+    const ProcessResult killed =
+        runProcess({"/bin/sh", "-c", "kill -TERM $$"}, {}, 10.0);
+    EXPECT_EQ(killed.exit_code, 128 + 15);
+
+    // A hung child is SIGKILLed at the deadline.
+    const ProcessResult hung =
+        runProcess({"/bin/sh", "-c", "sleep 30"}, {}, 0.2);
+    EXPECT_TRUE(hung.timed_out);
+    EXPECT_GE(hung.wall_s, 0.2);
+    EXPECT_LT(hung.wall_s, 5.0);
+}
+
+TEST(RunProcess, PassesEnvAndCapturesOutputInLogFile)
+{
+    const fs::path dir =
+        fs::path(testing::TempDir()) / "coopsim_supervise_log";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string log = (dir / "worker.log").string();
+
+    const ProcessResult r = runProcess(
+        {"/bin/sh", "-c", "echo marker-$COOPSIM_ATTEMPT; echo err >&2"},
+        {std::string(kAttemptEnv) + "=5"}, 10.0, log);
+    EXPECT_EQ(r.exit_code, 0);
+
+    std::ifstream in(log);
+    std::stringstream contents;
+    contents << in.rdbuf();
+    // Both streams land in the log; the supervisor's own stdout stays
+    // clean.
+    EXPECT_NE(contents.str().find("marker-5"), std::string::npos);
+    EXPECT_NE(contents.str().find("err"), std::string::npos);
+}
