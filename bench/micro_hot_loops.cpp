@@ -13,12 +13,17 @@
  *     per step (run_step_ns) for the pre-batching per-op loop versus
  *     the batched-quantum loop, with an identical-sequence no-driver
  *     replay subtracted as the op-work baseline (see benchDriverCost),
- *  4. one complete bench-scale reference run (coop / G4-1) end to end
+ *  4. trace-replay op production: TraceFileStream's frame decode
+ *     versus SyntheticStream generation over the identical op
+ *     sequence, with an in-memory replay of the pre-decoded ops
+ *     subtracted as the consumption baseline (replay_step_ns; the CI
+ *     trace-smoke leg asserts it does not exceed run_step_ns),
+ *  5. one complete bench-scale reference run (coop / G4-1) end to end
  *     under both driver modes — wall seconds, per-op cost, and the
  *     average quantum length actually achieved (quantum_avg_ops; the
  *     CI hotpath-smoke leg asserts it exceeds 1), with the two modes'
  *     results checked bit-identical — and
- *  5. end-to-end sweep throughput: the complete fig05-fig16 simulation
+ *  6. end-to-end sweep throughput: the complete fig05-fig16 simulation
  *     key set executed serially on one thread versus through the
  *     parallel RunExecutor.
  *
@@ -48,7 +53,11 @@
 #include "sim/min_clock_tree.hpp"
 #include "sim/system.hpp"
 #include "store/result_store.hpp"
+#include "trace/generator.hpp"
+#include "trace/spec_profiles.hpp"
 #include "trace/workloads.hpp"
+#include "tracefile/trace_stream.hpp"
+#include "tracefile/trace_writer.hpp"
 #include "umon/umon.hpp"
 
 using namespace coopsim;
@@ -488,6 +497,134 @@ benchDriverCost(std::uint64_t &checksum)
 }
 
 // ---------------------------------------------------------------------------
+// Trace replay decode cost
+
+struct ReplayCost
+{
+    /** Whole-loop ns/op: decode-from-file vs generate-from-profile. */
+    double replay_loop_ns = 0.0;
+    double generate_loop_ns = 0.0;
+    /** The op-consumption work alone (pre-decoded ops applied from
+     *  memory): the part of both loops that is NOT production. */
+    double baseline_ns = 0.0;
+
+    /** Net per-op production cost of each source. */
+    double replayNs() const { return replay_loop_ns - baseline_ns; }
+    double generateNs() const { return generate_loop_ns - baseline_ns; }
+};
+
+/**
+ * The per-op cost of TraceFileStream::nextBatch — the replacement for
+ * SyntheticStream in a `trace:` replay run. ~1M gobmk ops are
+ * recorded once (untimed), then three loops consume the identical
+ * sequence through the 64-op batch interface TraceCore uses:
+ *
+ *  - replay: TraceFileStream decoding frames from the mapped file;
+ *  - generate: SyntheticStream producing the same ops from the
+ *    profile (what the non-replay run pays);
+ *  - baseline: the ops pre-decoded into a vector and applied from
+ *    memory, measuring the consumption side alone.
+ *
+ * replay_step_ns = replay − baseline is the net decode cost per op;
+ * the CI trace-smoke leg asserts it stays at or below run_step_ns
+ * (the driver's own per-step budget), i.e. replay does not become
+ * the new hot-path bottleneck. All three checksums must agree — a
+ * decode bug that survives the CRCs would show up here.
+ */
+ReplayCost
+benchReplayCost(std::uint64_t &checksum)
+{
+    constexpr std::uint64_t kOps = 1u << 20;
+    const trace::AppProfile &profile = trace::specProfile("gobmk");
+    const trace::StreamGeometry geometry{512, 64};
+    const std::uint64_t seed = 42;
+
+    const std::string path = "BENCH_replay.gobmk.0.cooptrace";
+    {
+        tracefile::TraceHeader header;
+        header.core = 0;
+        header.num_cores = 1;
+        header.seed = seed;
+        header.llc_sets = geometry.llc_sets;
+        header.block_bytes = geometry.block_bytes;
+        header.workload = "BENCH_replay.gobmk";
+        header.app = profile.name;
+        header.scale = "bench";
+        tracefile::TraceWriter writer(path, header);
+        trace::SyntheticStream source(profile, geometry, 0, seed);
+        core::MemOp buffer[64];
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            source.nextBatch(buffer, 64);
+            for (const core::MemOp &op : buffer) {
+                writer.append(op);
+            }
+        }
+        writer.finish();
+    }
+
+    const auto consume = [](const core::MemOp &op) {
+        return op.addr + op.gap_insts +
+               (op.type == AccessType::Write ? 1u : 0u);
+    };
+
+    ReplayCost times;
+    std::uint64_t replay_sum = 0;
+    {
+        tracefile::TraceFileStream stream(path);
+        core::MemOp buffer[64];
+        const auto t0 = Clock::now();
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            stream.nextBatch(buffer, 64);
+            for (const core::MemOp &op : buffer) {
+                replay_sum += consume(op);
+            }
+        }
+        times.replay_loop_ns =
+            seconds(t0, Clock::now()) * 1e9 / static_cast<double>(kOps);
+    }
+    std::uint64_t generate_sum = 0;
+    {
+        trace::SyntheticStream stream(profile, geometry, 0, seed);
+        core::MemOp buffer[64];
+        const auto t0 = Clock::now();
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            stream.nextBatch(buffer, 64);
+            for (const core::MemOp &op : buffer) {
+                generate_sum += consume(op);
+            }
+        }
+        times.generate_loop_ns =
+            seconds(t0, Clock::now()) * 1e9 / static_cast<double>(kOps);
+    }
+    std::uint64_t baseline_sum = 0;
+    {
+        std::vector<core::MemOp> decoded(kOps);
+        tracefile::TraceFileStream stream(path);
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            stream.nextBatch(decoded.data() + n, 64);
+        }
+        const auto t0 = Clock::now();
+        for (const core::MemOp &op : decoded) {
+            baseline_sum += consume(op);
+        }
+        times.baseline_ns =
+            seconds(t0, Clock::now()) * 1e9 / static_cast<double>(kOps);
+    }
+    if (replay_sum != generate_sum || replay_sum != baseline_sum) {
+        std::fprintf(stderr,
+                     "FATAL: replay/generate/baseline op streams "
+                     "diverged (checksums %llu / %llu / %llu)\n",
+                     static_cast<unsigned long long>(replay_sum),
+                     static_cast<unsigned long long>(generate_sum),
+                     static_cast<unsigned long long>(baseline_sum));
+        std::exit(1);
+    }
+    std::remove(path.c_str());
+    checksum += replay_sum;
+    return times;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end reference run (both driver modes)
 
 struct SingleRun
@@ -711,6 +848,14 @@ main(int argc, char **argv)
                     : 0.0,
                 driver.quantum_avg_ops);
 
+    const ReplayCost replay = benchReplayCost(checksum);
+    std::printf("op production (replay)     %8.2f ns/op "
+                "(loop %.2f - baseline %.2f)\n",
+                replay.replayNs(), replay.replay_loop_ns,
+                replay.baseline_ns);
+    std::printf("op production (generate)   %8.2f ns/op\n",
+                replay.generateNs());
+
     const SingleRun single = benchSingleRun(checksum);
     std::printf("single run coop/G4-1 bench: batched %.3fs, per-op "
                 "%.3fs, %llu steps, quantum avg %.2f ops "
@@ -747,6 +892,8 @@ main(int argc, char **argv)
             "  \"run_step_ns\": %.3f,\n"
             "  \"run_step_perop_ns\": %.3f,\n"
             "  \"run_step_baseline_ns\": %.3f,\n"
+            "  \"replay_step_ns\": %.3f,\n"
+            "  \"generate_step_ns\": %.3f,\n"
             "  \"single_run_s\": %.3f,\n"
             "  \"single_run_perop_s\": %.3f,\n"
             "  \"single_run_steps\": %llu,\n"
@@ -761,7 +908,8 @@ main(int argc, char **argv)
             sim::RunExecutor::instance().threads(),
             lookup.bitscan_ns, lookup.linear_ns, lookup.victim_ns,
             umon_ns, driver.batchedNs(), driver.peropNs(),
-            driver.baseline_ns, single.batched_s, single.perop_s,
+            driver.baseline_ns, replay.replayNs(), replay.generateNs(),
+            single.batched_s, single.perop_s,
             static_cast<unsigned long long>(single.steps),
             single.quantum_avg_ops, sweep.runs, sweep.serial_s,
             sweep.parallel_s, speedup);

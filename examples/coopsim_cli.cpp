@@ -53,6 +53,8 @@
 #include "sim/report.hpp"
 #include "supervise/fault.hpp"
 #include "supervise/supervisor.hpp"
+#include "tracefile/record.hpp"
+#include "tracefile/trace_workloads.hpp"
 
 using namespace coopsim;
 
@@ -67,10 +69,16 @@ constexpr const char *kUsage =
     "                   [--store=DIR] [--shard=I/N] [--merge]\n"
     "                   [--supervise --shards=N [--shard-timeout=S]\n"
     "                    [--shard-retries=K]]\n"
+    "                   [--record=DIR] [--trace-dir=DIR]\n"
     "with --spec, only --scale/--threads/--seed/--store/--shard/"
-    "--merge/\n--supervise/--shards/--shard-timeout/--shard-retries "
-    "may also be\ngiven (the first three override the spec file).\n"
-    "--shard, --merge and --supervise require --spec and --store.\n";
+    "--merge/\n--supervise/--shards/--shard-timeout/--shard-retries/"
+    "--record/\n--trace-dir may also be given (the first three "
+    "override the spec\nfile).\n"
+    "--shard, --merge and --supervise require --spec and --store.\n"
+    "--record=DIR captures the spec's workloads as .cooptrace files\n"
+    "into DIR instead of running the experiment; --trace-dir=DIR (or\n"
+    "COOPSIM_TRACE_DIR) registers DIR's recordings as trace:<name>\n"
+    "workloads for replay.\n";
 
 /** 1-based attempt number of this worker process (COOPSIM_ATTEMPT,
  *  exported by the supervisor; 1 when run by hand). */
@@ -137,6 +145,11 @@ runSupervised(const char *binary, const api::CliOptions &cli,
         }
         if (cli.seed.has_value()) {
             args.push_back("--seed=" + std::to_string(*cli.seed));
+        }
+        if (!cli.trace_dir.empty()) {
+            // Workers must resolve trace: workloads exactly like the
+            // parent that sharded the key list for them.
+            args.push_back("--trace-dir=" + cli.trace_dir);
         }
         const std::vector<std::string> env = {
             std::string(supervise::kAttemptEnv) + "=" +
@@ -247,14 +260,21 @@ main(int argc, char **argv)
                             api::kFlagSpec | api::kFlagScale |
                                 api::kFlagThreads | api::kFlagSeed |
                                 api::kFlagStore | api::kFlagShard |
-                                api::kFlagMerge | api::kFlagSupervise,
+                                api::kFlagMerge | api::kFlagSupervise |
+                                api::kFlagRecord | api::kFlagTraceDir,
                             kUsage);
     } else if (cli.shard_set || cli.merge || cli.supervise ||
                cli.shards > 0) {
         COOPSIM_FATAL(
             "--shard, --merge and --supervise require --spec=FILE");
+    } else if (!cli.record_dir.empty()) {
+        COOPSIM_FATAL("--record requires --spec=FILE (it records the "
+                      "spec's workloads)");
     }
     const unsigned threads = api::applyCliThreads(cli);
+    if (!cli.trace_dir.empty()) {
+        tracefile::registerTraceDir(cli.trace_dir);
+    }
 
     if (!cli.spec_path.empty()) {
         if (cli.shard_set && cli.merge) {
@@ -272,6 +292,30 @@ main(int argc, char **argv)
             COOPSIM_FATAL(
                 "--shard, --merge and --supervise require --store=DIR");
         }
+        if (!cli.record_dir.empty()) {
+            // Recording is a serial capture pass over the generators;
+            // none of the sweep-distribution machinery applies to it.
+            if (cli.shard_set) {
+                COOPSIM_FATAL("--record is mutually exclusive with "
+                              "--shard: record once, then shard the "
+                              "replay sweep");
+            }
+            if (cli.merge) {
+                COOPSIM_FATAL("--record is mutually exclusive with "
+                              "--merge: recording writes trace files, "
+                              "not result stores");
+            }
+            if (cli.supervise) {
+                COOPSIM_FATAL("--record is mutually exclusive with "
+                              "--supervise: recording runs serially in "
+                              "this process");
+            }
+            if (!cli.store_dir.empty()) {
+                COOPSIM_FATAL("--record does not take --store: it "
+                              "writes .cooptrace files to the --record "
+                              "directory, not simulation results");
+            }
+        }
 
         api::ExperimentSpec spec = api::parseSpecFile(cli.spec_path);
         if (cli.scale_set) {
@@ -279,6 +323,26 @@ main(int argc, char **argv)
         }
         if (cli.seed.has_value()) {
             spec.seeds = {*cli.seed};
+        }
+        if (!cli.trace_dir.empty()) {
+            bool any_trace = false;
+            for (const std::string &group : spec.groups) {
+                any_trace =
+                    any_trace || tracefile::isTraceWorkload(group);
+            }
+            if (!any_trace) {
+                COOPSIM_WARN("--trace-dir given, but spec '", spec.name,
+                             "' names no trace: workloads — the "
+                             "registered traces will go unused");
+            }
+        }
+        if (!cli.record_dir.empty()) {
+            const std::size_t files =
+                tracefile::recordSpec(spec, cli.record_dir);
+            std::fprintf(stderr,
+                         "# record: wrote %zu trace file(s) to %s\n",
+                         files, cli.record_dir.c_str());
+            return 0;
         }
         // Reprint the bench preamble at the spec's effective scale so
         // the output is bit-identical to the fig binary's.

@@ -141,6 +141,18 @@ parseCli(int argc, char **argv, unsigned allowed, const char *usage,
                               "' (seconds; 0 disables the timeout)");
             }
             options.shard_timeout_s = seconds;
+        } else if ((allowed & kFlagRecord) &&
+                   takeValue(arg, "--record=", value)) {
+            if (value.empty()) {
+                COOPSIM_FATAL("--record requires a directory path");
+            }
+            options.record_dir = value;
+        } else if ((allowed & kFlagTraceDir) &&
+                   takeValue(arg, "--trace-dir=", value)) {
+            if (value.empty()) {
+                COOPSIM_FATAL("--trace-dir requires a directory path");
+            }
+            options.trace_dir = value;
         } else if ((allowed & kFlagSupervise) &&
                    takeValue(arg, "--shard-retries=", value)) {
             const std::uint64_t n = parseUint(value, "--shard-retries");

@@ -47,6 +47,8 @@ enum CliFlag : unsigned
     /** --supervise, --shards=N, --shard-timeout=S, --shard-retries=K
      *  (the fault-tolerant shard supervisor). */
     kFlagSupervise = 1u << 12,
+    kFlagRecord = 1u << 13,    //!< --record=DIR (capture trace files)
+    kFlagTraceDir = 1u << 14,  //!< --trace-dir=DIR (trace: workloads)
 };
 
 /** The fig/table benches: scale + threads + result store. */
@@ -57,7 +59,7 @@ inline constexpr unsigned kExampleFlags =
     kBenchFlags | kFlagPositional;
 /** Everything (coopsim_cli); derived from the last enumerator so a
  *  new flag is included automatically. */
-inline constexpr unsigned kAllFlags = (kFlagSupervise << 1) - 1;
+inline constexpr unsigned kAllFlags = (kFlagTraceDir << 1) - 1;
 
 /** Parsed command line. */
 struct CliOptions
@@ -95,6 +97,12 @@ struct CliOptions
     /** --shard-retries=K: attempts per shard before it is reported
      *  failed. */
     unsigned shard_retries = 3;
+    /** --record=DIR: record the spec's workloads as `.cooptrace`
+     *  files into DIR instead of rendering a table; empty = off. */
+    std::string record_dir;
+    /** --trace-dir=DIR: register DIR's trace sets as `trace:<name>`
+     *  workloads before the spec resolves; empty = none. */
+    std::string trace_dir;
     std::vector<std::string> positional;
 };
 
@@ -105,8 +113,8 @@ struct CliOptions
  * is not an allowed flag — unknown, misspelled, or simply not opted
  * into by this binary — is fatal; so is a malformed value of an
  * allowed flag. When @p reject_unknown is false the parser instead
- * skips arguments it does not own (the compatibility mode behind the
- * deprecated sim::scaleFromArgs/threadsFromArgs shims).
+ * skips arguments it does not own (for parsers that only own a
+ * subset of a longer command line).
  */
 CliOptions parseCli(int argc, char **argv, unsigned allowed,
                     const char *usage, bool reject_unknown = true);

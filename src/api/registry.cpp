@@ -3,6 +3,7 @@
 #include "llc/schemes.hpp"
 #include "sim/system.hpp"
 #include "trace/spec_profiles.hpp"
+#include "tracefile/trace_workloads.hpp"
 
 namespace coopsim::api
 {
@@ -64,18 +65,6 @@ registerScheme(const std::string &name, const std::string &label,
                LlcFactory factory)
 {
     schemeRegistry().add(name, SchemeEntry{label, std::move(factory)});
-}
-
-std::string
-schemeKeyOf(llc::Scheme scheme)
-{
-    for (const BuiltinScheme &b : kBuiltinSchemes) {
-        if (b.scheme == scheme) {
-            return b.key;
-        }
-    }
-    COOPSIM_FATAL("scheme enum value ",
-                  static_cast<int>(scheme), " has no registry name");
 }
 
 const std::string &
@@ -249,6 +238,10 @@ warmAllRegistries()
     partitionerRegistry();
     scaleRegistry();
     workloadRegistry();
+    // Trace workloads named by COOPSIM_TRACE_DIR join the registry
+    // here, so executor threads and forked shard workers resolve
+    // `trace:` groups without any per-call-site plumbing.
+    tracefile::registerFromEnvironment();
 }
 
 std::vector<trace::WorkloadGroup>

@@ -138,9 +138,6 @@ Registry<SchemeEntry> &schemeRegistry();
 void registerScheme(const std::string &name, const std::string &label,
                     LlcFactory factory);
 
-/** Canonical registry name of a built-in scheme enum value. */
-std::string schemeKeyOf(llc::Scheme scheme);
-
 /** Display label of the scheme registered as @p name (fatal if
  *  unknown). */
 const std::string &schemeLabel(const std::string &name);

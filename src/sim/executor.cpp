@@ -9,6 +9,7 @@
 #include "common/logging.hpp"
 #include "store/result_store.hpp"
 #include "trace/workloads.hpp"
+#include "tracefile/trace_workloads.hpp"
 
 namespace coopsim::sim
 {
@@ -50,8 +51,10 @@ defaultThreadCount()
 /** Consumed once, by the first RunExecutor::instance() construction. */
 unsigned g_initial_threads = 0;
 
+} // namespace
+
 SystemConfig
-configOf(const RunKey &key)
+runConfig(const RunKey &key)
 {
     SystemConfig config =
         makeSystemConfig(key.num_cores, key.scheme, key.scale);
@@ -63,8 +66,6 @@ configOf(const RunKey &key)
     config.seed = key.seed;
     return config;
 }
-
-} // namespace
 
 std::size_t
 RunKeyHash::operator()(const RunKey &key) const
@@ -107,19 +108,26 @@ RunResult
 executeRun(const RunKey &key)
 {
     if (key.kind == RunKey::Kind::Group) {
-        const trace::WorkloadGroup &group = trace::groupByName(key.name);
+        // Registry resolution (not trace::groupByName) so trace-backed
+        // groups registered under "trace:<name>" run like any other.
+        const trace::WorkloadGroup &group =
+            api::workloadRegistry().get(key.name);
         const auto num_cores =
             static_cast<std::uint32_t>(group.apps.size());
-        SystemConfig config = configOf(key);
+        SystemConfig config = runConfig(key);
         COOPSIM_ASSERT(config.num_cores == num_cores,
                        "group size does not match system");
+        if (tracefile::isTraceWorkload(key.name)) {
+            config.stream_factory =
+                tracefile::replayFactory(key.name, key.seed, key.scale);
+        }
         System system(config, trace::groupProfiles(group));
         return system.run();
     }
 
     // Solo: the app owns the whole (unmanaged) LLC of the system it
     // will later share.
-    SystemConfig config = configOf(key);
+    SystemConfig config = runConfig(key);
     config.num_cores = 1;
     config.llc.num_cores = 1;
     System system(config, {trace::specProfile(key.name)});

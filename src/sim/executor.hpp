@@ -97,6 +97,15 @@ struct RunKeyHash
     std::size_t operator()(const RunKey &key) const;
 };
 
+/**
+ * The SystemConfig @p key describes: topology + scale via
+ * makeSystemConfig, then the key's LLC knobs and seed. The record
+ * mode and the replay factory need exactly this mapping, which is why
+ * it is public — executeRun() is `System(runConfig(key), ...).run()`
+ * plus workload resolution.
+ */
+SystemConfig runConfig(const RunKey &key);
+
 /** Runs the simulation @p key describes (pure; no caching). */
 RunResult executeRun(const RunKey &key);
 
@@ -164,7 +173,7 @@ class RunExecutor
 
     /**
      * Worker count the first instance() construction uses (0 = the
-     * default resolution). Lets applyThreadArgs() build the pool at
+     * default resolution). Lets api::applyCliThreads() build the pool at
      * the requested size directly instead of spawning a full
      * hardware_concurrency pool only to tear it down; once the
      * process-wide executor exists this is a no-op — use setThreads().

@@ -1,6 +1,5 @@
 #include "sim/runner.hpp"
 
-#include "api/cli.hpp"
 #include "api/registry.hpp"
 #include "common/logging.hpp"
 
@@ -8,12 +7,15 @@ namespace coopsim::sim
 {
 
 RunKey
-groupKey(llc::Scheme scheme, const trace::WorkloadGroup &group,
+groupKey(const std::string &scheme, const trace::WorkloadGroup &group,
          const RunOptions &options)
 {
+    // Validate eagerly: a typo'd scheme should die here, at the call
+    // site, not inside a worker thread mid-sweep.
+    api::schemeRegistry().get(scheme);
     RunKey key;
     key.kind = RunKey::Kind::Group;
-    key.scheme = api::schemeKeyOf(scheme);
+    key.scheme = scheme;
     key.name = group.name;
     key.num_cores = static_cast<std::uint32_t>(group.apps.size());
     key.scale = options.scale;
@@ -50,7 +52,7 @@ soloKey(const std::string &app, std::uint32_t num_cores,
 }
 
 const RunResult &
-runGroup(llc::Scheme scheme, const trace::WorkloadGroup &group,
+runGroup(const std::string &scheme, const trace::WorkloadGroup &group,
          const RunOptions &options)
 {
     return RunExecutor::instance().run(groupKey(scheme, group, options));
@@ -71,7 +73,7 @@ soloIpc(const std::string &app, std::uint32_t num_cores,
 }
 
 double
-groupWeightedSpeedup(llc::Scheme scheme,
+groupWeightedSpeedup(const std::string &scheme,
                      const trace::WorkloadGroup &group,
                      const RunOptions &options)
 {
@@ -102,13 +104,13 @@ prefetch(const std::vector<RunKey> &keys)
 }
 
 void
-prefetchGroups(const std::vector<llc::Scheme> &schemes,
+prefetchGroups(const std::vector<std::string> &schemes,
                const std::vector<trace::WorkloadGroup> &groups,
                const RunOptions &options, bool with_solo)
 {
     std::vector<RunKey> keys;
     for (const trace::WorkloadGroup &group : groups) {
-        for (const llc::Scheme scheme : schemes) {
+        for (const std::string &scheme : schemes) {
             keys.push_back(groupKey(scheme, group, options));
         }
         if (with_solo) {
@@ -126,32 +128,6 @@ void
 clearRunCache()
 {
     RunExecutor::instance().clear();
-}
-
-RunScale
-scaleFromArgs(int argc, char **argv)
-{
-    // Deprecated shim: one axis of api::parseCli, in the lenient mode
-    // that skips flags other binaries own.
-    return api::parseCli(argc, argv, api::kFlagScale, nullptr,
-                         /*reject_unknown=*/false)
-        .scale;
-}
-
-unsigned
-threadsFromArgs(int argc, char **argv)
-{
-    return api::parseCli(argc, argv, api::kFlagThreads, nullptr,
-                         /*reject_unknown=*/false)
-        .threads;
-}
-
-unsigned
-applyThreadArgs(int argc, char **argv)
-{
-    api::CliOptions options;
-    options.threads = threadsFromArgs(argc, argv);
-    return api::applyCliThreads(options);
 }
 
 } // namespace coopsim::sim

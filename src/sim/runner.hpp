@@ -10,12 +10,14 @@
  * front runs the sweep on all host cores (--threads=N /
  * COOPSIM_THREADS; default hardware_concurrency).
  *
- * Deprecation note: new code should describe sweeps declaratively with
- * api::ExperimentSpec (coopsim/experiment.hpp) instead of calling the
- * enum-addressed helpers below. runGroup/soloIpc/prefetchGroups and
- * the per-flag argument parsers (scaleFromArgs/threadsFromArgs/
- * applyThreadArgs) are retained as thin shims over the string-keyed
- * api layer and will not grow new axes.
+ * Schemes are addressed by registry name ("coop", "ucp", ... or any
+ * custom registration); new code should describe whole sweeps
+ * declaratively with api::ExperimentSpec (coopsim/experiment.hpp) and
+ * reach for these helpers only for one-off runs. The scheme-enum
+ * overloads and the per-flag argument parsers (scaleFromArgs/
+ * threadsFromArgs/applyThreadArgs) that used to live here were shims
+ * over the string-keyed api layer; they are gone — use registry names
+ * and api::parseCli/applyCliThreads.
  */
 
 #ifndef COOPSIM_SIM_RUNNER_HPP
@@ -50,8 +52,10 @@ struct RunOptions
     std::uint64_t seed = 42;
 };
 
-/** The RunKey identifying runGroup(scheme, group, options). */
-RunKey groupKey(llc::Scheme scheme, const trace::WorkloadGroup &group,
+/** The RunKey identifying runGroup(scheme, group, options). @p scheme
+ *  is a scheme-registry name. */
+RunKey groupKey(const std::string &scheme,
+                const trace::WorkloadGroup &group,
                 const RunOptions &options = {});
 
 /** The RunKey identifying soloIpc(app, num_cores, options). */
@@ -59,11 +63,12 @@ RunKey soloKey(const std::string &app, std::uint32_t num_cores,
                const RunOptions &options = {});
 
 /**
- * Runs workload @p group under @p scheme on the appropriate system
- * (two-core for G2-*, four-core for G4-*). Results are memoised; the
- * reference stays valid until clearRunCache().
+ * Runs workload @p group under the scheme registered as @p scheme on
+ * the appropriate system (two-core for G2-*, four-core for G4-*).
+ * Results are memoised; the reference stays valid until
+ * clearRunCache().
  */
-const RunResult &runGroup(llc::Scheme scheme,
+const RunResult &runGroup(const std::string &scheme,
                           const trace::WorkloadGroup &group,
                           const RunOptions &options = {});
 
@@ -81,7 +86,7 @@ const RunResult &soloResult(const std::string &app,
                             const RunOptions &options = {});
 
 /** Weighted speedup of @p group under @p scheme (Equation 1). */
-double groupWeightedSpeedup(llc::Scheme scheme,
+double groupWeightedSpeedup(const std::string &scheme,
                             const trace::WorkloadGroup &group,
                             const RunOptions &options = {});
 
@@ -92,25 +97,12 @@ double groupWeightedSpeedup(llc::Scheme scheme,
  * every app in every group (the weighted-speedup denominators).
  */
 void prefetch(const std::vector<RunKey> &keys);
-void prefetchGroups(const std::vector<llc::Scheme> &schemes,
+void prefetchGroups(const std::vector<std::string> &schemes,
                     const std::vector<trace::WorkloadGroup> &groups,
                     const RunOptions &options, bool with_solo = true);
 
 /** Empties the memoisation cache (tests). */
 void clearRunCache();
-
-/** Parses --full / --scale=paper style bench arguments; fatal() on an
- *  unrecognised --scale= value. */
-RunScale scaleFromArgs(int argc, char **argv);
-
-/** Parses --threads=N; returns 0 when the flag is absent. */
-unsigned threadsFromArgs(int argc, char **argv);
-
-/**
- * Applies --threads=N (when present) to the process-wide executor and
- * returns its final worker count.
- */
-unsigned applyThreadArgs(int argc, char **argv);
 
 } // namespace coopsim::sim
 

@@ -138,8 +138,16 @@ System::System(const SystemConfig &config,
                        static_cast<double>(scaled.phase_insts) *
                        phase_factor));
         }
-        streams_.push_back(std::make_unique<trace::SyntheticStream>(
-            scaled, sg, c, config_.seed + c * 7919));
+        const std::uint64_t stream_seed = config_.seed + c * 7919;
+        if (config_.stream_factory) {
+            streams_.push_back(
+                config_.stream_factory(c, scaled, sg, stream_seed));
+            COOPSIM_ASSERT(streams_.back() != nullptr,
+                           "stream factory returned no stream for core ", c);
+        } else {
+            streams_.push_back(std::make_unique<trace::SyntheticStream>(
+                scaled, sg, c, stream_seed));
+        }
         cores_.push_back(std::make_unique<core::TraceCore>(
             c, config_.core, *llc_, *streams_[c]));
     }

@@ -12,6 +12,7 @@
 #ifndef COOPSIM_SIM_SYSTEM_HPP
 #define COOPSIM_SIM_SYSTEM_HPP
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,16 @@ enum class DriverMode : std::uint8_t
     PerOp,
 };
 
+/**
+ * Builds core @p c's op stream. The profile passed in already carries
+ * the scale-adjusted phase lengths, and @p seed is the per-stream seed
+ * (run seed + c * 7919) — a factory that ignores both (e.g. trace
+ * replay) must validate them against what it serves instead.
+ */
+using StreamFactory = std::function<std::unique_ptr<core::OpStream>(
+    std::uint32_t c, const trace::AppProfile &profile,
+    const trace::StreamGeometry &geometry, std::uint64_t seed)>;
+
 /** Complete configuration of one simulation. */
 struct SystemConfig
 {
@@ -78,6 +89,16 @@ struct SystemConfig
      * them that way.
      */
     DriverMode driver = DriverMode::Batched;
+    /**
+     * Where ops come from. Empty (the default) builds the synthetic
+     * SPEC-profile generator; the tracefile layer installs a factory
+     * that replays recorded `.cooptrace` streams, and `--record` one
+     * that tees the generator through a TraceWriter. Like `driver`,
+     * NOT part of the simulation identity: a replayed stream must
+     * reproduce the generated one bit for bit (the tracefile tests
+     * hold it to that), so RunKey carries no stream field.
+     */
+    StreamFactory stream_factory;
 };
 
 /**
@@ -214,7 +235,7 @@ class System
     std::vector<trace::AppProfile> profiles_;
     mem::DramModel dram_;
     std::unique_ptr<llc::BaseLlc> llc_;
-    std::vector<std::unique_ptr<trace::SyntheticStream>> streams_;
+    std::vector<std::unique_ptr<core::OpStream>> streams_;
     std::vector<std::unique_ptr<core::TraceCore>> cores_;
     DriverStats driver_stats_;
 };

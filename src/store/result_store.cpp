@@ -86,15 +86,21 @@ makeCrcTable()
 } // namespace
 
 std::uint32_t
-crc32(const std::string &data)
+crc32(const char *data, std::size_t len)
 {
     static const std::array<std::uint32_t, 256> table = makeCrcTable();
     std::uint32_t crc = 0xffffffffu;
-    for (const char ch : data) {
-        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^
               (crc >> 8);
     }
     return crc ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    return crc32(data.data(), data.size());
 }
 
 std::string

@@ -76,6 +76,10 @@ std::string shardFileName(unsigned index, unsigned count);
 /** CRC-32 (IEEE 802.3, the zlib polynomial) of @p data. */
 std::uint32_t crc32(const std::string &data);
 
+/** Range overload: the same CRC-32 without building a string — the
+ *  trace codec checksums frame payloads in place with it. */
+std::uint32_t crc32(const char *data, std::size_t len);
+
 /** `<body>\t#crc32=XXXXXXXX` — the suffixed store line save() emits;
  *  the checksum covers exactly @p body. */
 std::string withCrcSuffix(const std::string &body);

@@ -1,0 +1,331 @@
+#include "tracefile/trace_format.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "store/result_store.hpp"
+
+namespace coopsim::tracefile
+{
+
+namespace
+{
+
+inline void
+appendU32(std::string &out, std::uint32_t value)
+{
+    char buf[4];
+    buf[0] = static_cast<char>(value & 0xff);
+    buf[1] = static_cast<char>((value >> 8) & 0xff);
+    buf[2] = static_cast<char>((value >> 16) & 0xff);
+    buf[3] = static_cast<char>((value >> 24) & 0xff);
+    out.append(buf, 4);
+}
+
+inline bool
+readU32(const std::string &data, std::size_t &pos, std::uint32_t &value)
+{
+    if (pos + 4 > data.size())
+        return false;
+    const auto *p = reinterpret_cast<const unsigned char *>(data.data() + pos);
+    value = static_cast<std::uint32_t>(p[0]) |
+            (static_cast<std::uint32_t>(p[1]) << 8) |
+            (static_cast<std::uint32_t>(p[2]) << 16) |
+            (static_cast<std::uint32_t>(p[3]) << 24);
+    pos += 4;
+    return true;
+}
+
+inline void
+appendString(std::string &out, const std::string &s)
+{
+    appendVarint(out, s.size());
+    out.append(s);
+}
+
+inline bool
+readString(const std::string &data, std::size_t &pos, std::string &out)
+{
+    std::uint64_t len = 0;
+    if (!readVarint(data, pos, len))
+        return false;
+    if (pos + len > data.size())
+        return false;
+    out.assign(data, pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    return true;
+}
+
+} // namespace
+
+void
+appendVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+bool
+readVarint(const std::string &data, std::size_t &pos, std::uint64_t &value)
+{
+    std::uint64_t result = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= data.size())
+            return false;
+        const auto byte =
+            static_cast<unsigned char>(data[pos++]);
+        result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            value = result;
+            return true;
+        }
+    }
+    return false; // > 10 bytes: not a valid encoding of a u64
+}
+
+// ---------------------------------------------------------------------------
+// Header
+
+std::string
+encodeHeader(const TraceHeader &header)
+{
+    std::string payload;
+    appendVarint(payload, header.core);
+    appendVarint(payload, header.num_cores);
+    appendVarint(payload, header.seed);
+    appendVarint(payload, header.llc_sets);
+    appendVarint(payload, header.block_bytes);
+    appendString(payload, header.workload);
+    appendString(payload, header.app);
+    appendString(payload, header.scale);
+
+    std::string out;
+    out.append(kTraceMagic, sizeof(kTraceMagic));
+    appendU32(out, kTraceVersion);
+    appendU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+    appendU32(out, store::crc32(payload.data(), payload.size()));
+    return out;
+}
+
+bool
+decodeHeader(const std::string &data, std::size_t &pos, TraceHeader &out,
+             std::string &error)
+{
+    if (data.size() < sizeof(kTraceMagic) + 4) {
+        error = "file too short for a trace header";
+        return false;
+    }
+    if (std::memcmp(data.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+        error = "bad magic (not a .cooptrace file)";
+        return false;
+    }
+    pos = sizeof(kTraceMagic);
+    std::uint32_t version = 0;
+    if (!readU32(data, pos, version)) {
+        error = "truncated version field";
+        return false;
+    }
+    if (version != kTraceVersion) {
+        error = "unsupported trace version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(kTraceVersion) + ")";
+        return false;
+    }
+    std::uint32_t payload_bytes = 0;
+    if (!readU32(data, pos, payload_bytes)) {
+        error = "truncated header length field";
+        return false;
+    }
+    if (pos + payload_bytes + 4 > data.size()) {
+        error = "truncated header payload";
+        return false;
+    }
+    const std::size_t payload_start = pos;
+    const std::uint32_t want =
+        store::crc32(data.data() + payload_start, payload_bytes);
+    std::size_t crc_pos = payload_start + payload_bytes;
+    std::uint32_t got = 0;
+    readU32(data, crc_pos, got);
+    if (want != got) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "header CRC mismatch (stored %08x, computed %08x)",
+                      got, want);
+        error = buf;
+        return false;
+    }
+
+    const std::string payload(data, payload_start, payload_bytes);
+    std::size_t p = 0;
+    std::uint64_t core = 0, num_cores = 0, seed = 0, sets = 0, block = 0;
+    TraceHeader header;
+    if (!readVarint(payload, p, core) || !readVarint(payload, p, num_cores) ||
+        !readVarint(payload, p, seed) || !readVarint(payload, p, sets) ||
+        !readVarint(payload, p, block) ||
+        !readString(payload, p, header.workload) ||
+        !readString(payload, p, header.app) ||
+        !readString(payload, p, header.scale)) {
+        error = "malformed header payload";
+        return false;
+    }
+    header.core = static_cast<std::uint32_t>(core);
+    header.num_cores = static_cast<std::uint32_t>(num_cores);
+    header.seed = seed;
+    header.llc_sets = static_cast<std::uint32_t>(sets);
+    header.block_bytes = static_cast<std::uint32_t>(block);
+    out = header;
+    pos = crc_pos;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+std::string
+encodeFrame(const core::MemOp *ops, std::size_t count)
+{
+    std::string payload;
+    payload.reserve(count * 6);
+    std::uint64_t prev_addr = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const core::MemOp &op = ops[i];
+        const std::int64_t delta =
+            static_cast<std::int64_t>(op.addr - prev_addr);
+        const std::uint64_t z = zigzagEncode(delta);
+        const std::size_t len = deltaLen(z);
+        const unsigned flags =
+            (static_cast<unsigned>(len) << 2) |
+            (op.type == AccessType::Write ? 2u : 0u) |
+            (op.llc_level ? 1u : 0u);
+        payload.push_back(static_cast<char>(flags));
+        appendVarint(payload, op.gap_insts);
+        char bytes[8];
+        std::memcpy(bytes, &z, 8); // little-endian hosts only
+        payload.append(bytes, len);
+        prev_addr = op.addr;
+    }
+
+    std::string out;
+    appendVarint(out, count);
+    appendU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+    appendU32(out, store::crc32(payload.data(), payload.size()));
+    return out;
+}
+
+FrameStatus
+decodeFrame(const std::string &data, std::size_t &pos,
+            std::vector<core::MemOp> &out, std::string &error)
+{
+    out.clear();
+    const std::size_t logical_end = data.size() - kDecodeSlack;
+    if (pos >= logical_end)
+        return FrameStatus::End;
+
+    std::uint64_t count = 0;
+    std::size_t p = pos;
+    if (!readVarint(data, p, count) || p > logical_end) {
+        error = "truncated frame op count";
+        return FrameStatus::Corrupt;
+    }
+    std::uint32_t payload_bytes = 0;
+    if (p + 4 > logical_end || !readU32(data, p, payload_bytes)) {
+        error = "truncated frame length field";
+        return FrameStatus::Corrupt;
+    }
+    const std::size_t payload_start = p;
+    const std::size_t payload_end = payload_start + payload_bytes;
+    if (payload_end + 4 > logical_end) {
+        error = "truncated frame payload (expected " +
+                std::to_string(payload_bytes) + " bytes + CRC)";
+        return FrameStatus::Corrupt;
+    }
+    const std::uint32_t want =
+        store::crc32(data.data() + payload_start, payload_bytes);
+    std::size_t crc_pos = payload_end;
+    std::uint32_t got = 0;
+    readU32(data, crc_pos, got);
+    if (want != got) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "frame CRC mismatch (stored %08x, computed %08x)", got,
+                      want);
+        error = buf;
+        return FrameStatus::Corrupt;
+    }
+
+    out.resize(static_cast<std::size_t>(count));
+    const char *base = data.data();
+    std::size_t q = payload_start;
+    std::uint64_t prev_addr = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (q >= payload_end) {
+            error = "frame payload ended before op " + std::to_string(i) +
+                    " of " + std::to_string(count);
+            return FrameStatus::Corrupt;
+        }
+        const unsigned flags = static_cast<unsigned char>(base[q++]);
+        const std::size_t len = flags >> 2;
+        if (len > 8) {
+            error = "invalid delta length in op flags";
+            return FrameStatus::Corrupt;
+        }
+        std::uint64_t gap = 0;
+        if (!readVarint(data, q, gap) || q + len > payload_end) {
+            error = "truncated op encoding inside frame payload";
+            return FrameStatus::Corrupt;
+        }
+        // The kDecodeSlack file padding keeps this unconditional load
+        // in bounds even for the last op of the last frame.
+        std::uint64_t z;
+        std::memcpy(&z, base + q, 8);
+        z &= kLenMask[len];
+        q += len;
+        prev_addr += static_cast<std::uint64_t>(zigzagDecode(z));
+        core::MemOp &op = out[i];
+        op.gap_insts = gap;
+        op.addr = prev_addr;
+        op.type = (flags & 2u) ? AccessType::Write
+                               : AccessType::Read;
+        op.llc_level = (flags & 1u) != 0;
+    }
+    if (q != payload_end) {
+        error = "frame payload has " + std::to_string(payload_end - q) +
+                " trailing bytes after the last op";
+        return FrameStatus::Corrupt;
+    }
+    pos = crc_pos;
+    return FrameStatus::Ok;
+}
+
+bool
+readTraceFile(const std::string &path, std::string &data, std::size_t &size,
+              std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        error = "cannot open '" + path + "' for reading";
+        return false;
+    }
+    data.clear();
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, got);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok) {
+        error = "read error on '" + path + "'";
+        return false;
+    }
+    size = data.size();
+    data.append(kDecodeSlack, '\0');
+    return true;
+}
+
+} // namespace coopsim::tracefile

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TraceFileStream: replays a `.cooptrace` file as a core::OpStream.
+ *
+ * The whole file is read up front (one allocation, no I/O in the hot
+ * loop) and nextBatch() decodes ops directly into the caller's
+ * buffer — for TraceCore that is the 64-entry op ring — with no
+ * generator and no intermediate frame buffer in the loop. Every
+ * frame's structure and CRC are verified once at construction, so a
+ * truncated or corrupt file is fatal at open with a descriptive
+ * message and the decode loop never touches a checksum; exhaustion of
+ * the trace before the simulation's instruction budget is equally
+ * fatal rather than feeding garbage ops.
+ */
+
+#ifndef COOPSIM_TRACEFILE_TRACE_STREAM_HPP
+#define COOPSIM_TRACEFILE_TRACE_STREAM_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/op_stream.hpp"
+#include "tracefile/trace_format.hpp"
+
+namespace coopsim::tracefile
+{
+
+class TraceFileStream final : public core::OpStream
+{
+  public:
+    /** Loads and validates @p path (fatal on open/format errors). */
+    explicit TraceFileStream(std::string path);
+
+    core::MemOp next() override;
+
+    /**
+     * Fills @p out with up to @p max ops, crossing frame boundaries
+     * as needed. Never returns 0: running dry means TraceCore still
+     * wanted ops the trace does not have, which is a fatal naming
+     * the file and the op count it did deliver.
+     */
+    std::size_t nextBatch(core::MemOp *out, std::size_t max) override;
+
+    const TraceHeader &header() const { return header_; }
+    std::uint64_t deliveredOps() const { return delivered_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    /** Arms the op cursor on the frame at pos_; false at clean EOF.
+     *  Structure and CRC were already verified at construction. */
+    bool enterFrame();
+
+    std::string path_;
+    std::string data_;
+    std::size_t logical_size_ = 0;
+    TraceHeader header_;
+
+    /** Byte offset of the next frame header. */
+    std::size_t pos_ = 0;
+    /** Op cursor inside the current frame's payload. */
+    std::size_t op_pos_ = 0;
+    std::size_t payload_end_ = 0;
+    std::uint64_t frame_left_ = 0;
+    std::uint64_t prev_addr_ = 0;
+
+    std::uint64_t delivered_ = 0;
+    std::uint64_t frames_ = 0;
+};
+
+} // namespace coopsim::tracefile
+
+#endif // COOPSIM_TRACEFILE_TRACE_STREAM_HPP

@@ -90,7 +90,6 @@ TEST(Registry, DuplicateRegistrationIsFatal)
 
 TEST(Registry, EnumKeysRoundTrip)
 {
-    EXPECT_EQ(schemeKeyOf(llc::Scheme::DynamicCpe), "cpe");
     EXPECT_EQ(replPolicyKeyOf(cache::ReplPolicy::Random), "random");
     EXPECT_EQ(gatingModeKeyOf(llc::GatingMode::Drowsy), "drowsy");
     EXPECT_EQ(thresholdModeKeyOf(
@@ -255,7 +254,7 @@ TEST(RunKeyEncoding, GroupAndSoloKeysRoundTrip)
     options.seed = 1234567890123456789ull;
 
     const sim::RunKey group = sim::groupKey(
-        llc::Scheme::DynamicCpe, trace::groupByName("G4-3"), options);
+        "cpe", trace::groupByName("G4-3"), options);
     EXPECT_EQ(parseRunKey(formatRunKey(group)), group);
 
     const sim::RunKey solo = sim::soloKey("h264ref", 2, options);
@@ -412,13 +411,14 @@ TEST(Cli, SuperviseFlagsParseAndValidate)
 
 TEST(Cli, LenientModeSkipsFlagsOtherBinariesOwn)
 {
-    // The deprecated sim::scaleFromArgs shim must keep tolerating a
-    // full bench command line.
+    // reject_unknown=false: a parser that only owns --scale must
+    // tolerate a command line carrying flags other binaries own.
     const char *argv[] = {"bench", "--threads=4", "--scale=test",
                           "--csv"};
-    EXPECT_EQ(sim::scaleFromArgs(4, const_cast<char **>(argv)),
-              sim::RunScale::Test);
-    EXPECT_EQ(sim::threadsFromArgs(4, const_cast<char **>(argv)), 4u);
+    const CliOptions options = parseCli(
+        4, const_cast<char **>(argv), kFlagScale, nullptr, false);
+    EXPECT_EQ(options.scale, sim::RunScale::Test);
+    EXPECT_EQ(options.threads, 0u); // --threads not opted into
 }
 
 // ---------------------------------------------------------------------------
@@ -463,13 +463,13 @@ TEST(Experiment, ResultsViewMatchesRunnerShims)
 
     sim::RunOptions options;
     options.scale = sim::RunScale::Test;
-    const sim::RunResult &via_shim = sim::runGroup(
-        llc::Scheme::FairShare, trace::groupByName("G2-10"), options);
+    const sim::RunResult &via_runner = sim::runGroup(
+        "fairshare", trace::groupByName("G2-10"), options);
     // Same RunKey -> same memoised object.
-    EXPECT_EQ(&via_api, &via_shim);
+    EXPECT_EQ(&via_api, &via_runner);
     EXPECT_DOUBLE_EQ(
         results.weightedSpeedup(cell),
-        sim::groupWeightedSpeedup(llc::Scheme::FairShare,
+        sim::groupWeightedSpeedup("fairshare",
                                   trace::groupByName("G2-10"),
                                   options));
 }
@@ -524,8 +524,8 @@ TEST(Experiment, WorkerExceptionsBecomeRunFailuresNotPoolDeaths)
 
     sim::RunOptions options;
     options.scale = sim::RunScale::Test;
-    sim::RunKey bad = sim::groupKey(llc::Scheme::FairShare,
-                                    trace::groupByName("G2-10"), options);
+    sim::RunKey bad = sim::groupKey(
+        "fairshare", trace::groupByName("G2-10"), options);
     bad.scheme = "faulty";
 
     auto recording = std::make_shared<store::ResultStore>();

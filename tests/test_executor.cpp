@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/cli.hpp"
 #include "cache/cache.hpp"
 #include "common/rng.hpp"
 #include "sim/runner.hpp"
@@ -223,9 +224,8 @@ sweepKeys()
     for (const char *group_name : {"G2-10", "G2-11", "G4-3"}) {
         const trace::WorkloadGroup &group =
             trace::groupByName(group_name);
-        for (const llc::Scheme scheme :
-             {llc::Scheme::FairShare, llc::Scheme::Ucp,
-              llc::Scheme::DynamicCpe, llc::Scheme::Cooperative}) {
+        for (const char *scheme :
+             {"fairshare", "ucp", "cpe", "coop"}) {
             for (const double threshold : {0.0, 0.05}) {
                 for (const std::uint64_t seed : {42ull, 777ull}) {
                     RunOptions opts = options;
@@ -274,7 +274,7 @@ TEST(Executor, MemoisesByKeyIdentity)
     RunOptions options;
     options.scale = RunScale::Test;
     const auto &group = trace::groupByName("G2-10");
-    const RunKey key = groupKey(llc::Scheme::FairShare, group, options);
+    const RunKey key = groupKey("fairshare", group, options);
     const RunResult &a = executor.run(key);
     const RunResult &b = executor.run(key);
     EXPECT_EQ(&a, &b); // same cached object
@@ -282,7 +282,7 @@ TEST(Executor, MemoisesByKeyIdentity)
     RunOptions other = options;
     other.seed = 7;
     const RunResult &c =
-        executor.run(groupKey(llc::Scheme::FairShare, group, other));
+        executor.run(groupKey("fairshare", group, other));
     EXPECT_NE(&a, &c);
 }
 
@@ -303,7 +303,7 @@ TEST(Executor, RunKeyHashSpreadsAndEqualityHolds)
     RunOptions options;
     options.scale = RunScale::Test;
     const auto &group = trace::groupByName("G2-10");
-    const RunKey a = groupKey(llc::Scheme::FairShare, group, options);
+    const RunKey a = groupKey("fairshare", group, options);
     RunKey b = a;
     EXPECT_EQ(a, b);
     EXPECT_EQ(RunKeyHash{}(a), RunKeyHash{}(b));
@@ -324,31 +324,53 @@ TEST(Executor, SoloKeyNormalisesSchemeOnlyFields)
     EXPECT_EQ(soloKey("h264ref", 2, a), soloKey("h264ref", 2, b));
 }
 
-TEST(Runner, ScaleFromArgsAcceptsBenchAndRejectsUnknown)
+TEST(Runner, ParseCliAcceptsBenchScaleAndRejectsUnknown)
 {
     const char *bench[] = {"bench", "--scale=bench"};
-    EXPECT_EQ(scaleFromArgs(2, const_cast<char **>(bench)),
+    EXPECT_EQ(api::parseCli(2, const_cast<char **>(bench),
+                            api::kBenchFlags, nullptr)
+                  .scale,
               RunScale::Bench);
 
     setThrowOnFatal(true);
     const char *bad[] = {"bench", "--scale=warp9"};
-    EXPECT_THROW(scaleFromArgs(2, const_cast<char **>(bad)), FatalError);
+    EXPECT_THROW(api::parseCli(2, const_cast<char **>(bad),
+                               api::kBenchFlags, nullptr),
+                 FatalError);
     setThrowOnFatal(false);
 }
 
-TEST(Runner, ThreadsFromArgsParsesAndValidates)
+TEST(Runner, ParseCliThreadsParsesAndValidates)
 {
     const char *none[] = {"bench"};
-    EXPECT_EQ(threadsFromArgs(1, const_cast<char **>(none)), 0u);
+    EXPECT_EQ(api::parseCli(1, const_cast<char **>(none),
+                            api::kBenchFlags, nullptr)
+                  .threads,
+              0u);
     const char *eight[] = {"bench", "--threads=8"};
-    EXPECT_EQ(threadsFromArgs(2, const_cast<char **>(eight)), 8u);
+    EXPECT_EQ(api::parseCli(2, const_cast<char **>(eight),
+                            api::kBenchFlags, nullptr)
+                  .threads,
+              8u);
 
     setThrowOnFatal(true);
     const char *bad[] = {"bench", "--threads=banana"};
-    EXPECT_THROW(threadsFromArgs(2, const_cast<char **>(bad)),
+    EXPECT_THROW(api::parseCli(2, const_cast<char **>(bad),
+                               api::kBenchFlags, nullptr),
                  FatalError);
     const char *zero[] = {"bench", "--threads=0"};
-    EXPECT_THROW(threadsFromArgs(2, const_cast<char **>(zero)),
+    EXPECT_THROW(api::parseCli(2, const_cast<char **>(zero),
+                               api::kBenchFlags, nullptr),
                  FatalError);
+    setThrowOnFatal(false);
+}
+
+TEST(Runner, GroupKeyRejectsUnknownSchemeName)
+{
+    RunOptions options;
+    options.scale = RunScale::Test;
+    const auto &group = trace::groupByName("G2-10");
+    setThrowOnFatal(true);
+    EXPECT_THROW(groupKey("warpdrive", group, options), FatalError);
     setThrowOnFatal(false);
 }

@@ -33,13 +33,13 @@ TEST(Integration, WaysProbedOrderingAcrossSchemes)
     const RunOptions options = testOptions();
 
     const double unmanaged =
-        runGroup(llc::Scheme::Unmanaged, group, options).avg_ways_probed;
+        runGroup("unmanaged", group, options).avg_ways_probed;
     const double fair =
-        runGroup(llc::Scheme::FairShare, group, options).avg_ways_probed;
+        runGroup("fairshare", group, options).avg_ways_probed;
     const double ucp =
-        runGroup(llc::Scheme::Ucp, group, options).avg_ways_probed;
+        runGroup("ucp", group, options).avg_ways_probed;
     const double coop =
-        runGroup(llc::Scheme::Cooperative, group, options)
+        runGroup("coop", group, options)
             .avg_ways_probed;
 
     EXPECT_DOUBLE_EQ(unmanaged, 8.0);
@@ -54,15 +54,15 @@ TEST(Integration, DynamicEnergyShapeMatchesFigure6)
     const RunOptions options = testOptions();
 
     const double fair =
-        runGroup(llc::Scheme::FairShare, group, options)
+        runGroup("fairshare", group, options)
             .dynamic_energy_nj;
     const double unmanaged =
-        runGroup(llc::Scheme::Unmanaged, group, options)
+        runGroup("unmanaged", group, options)
             .dynamic_energy_nj;
     const double ucp =
-        runGroup(llc::Scheme::Ucp, group, options).dynamic_energy_nj;
+        runGroup("ucp", group, options).dynamic_energy_nj;
     const double coop =
-        runGroup(llc::Scheme::Cooperative, group, options)
+        runGroup("coop", group, options)
             .dynamic_energy_nj;
 
     // Unmanaged ~2x FairShare; UCP slightly above Unmanaged (monitor
@@ -78,11 +78,11 @@ TEST(Integration, StaticEnergyOnlyGatingSchemesSave)
     const RunOptions options = testOptions();
 
     const RunResult &fair =
-        runGroup(llc::Scheme::FairShare, group, options);
+        runGroup("fairshare", group, options);
     const RunResult &coop =
-        runGroup(llc::Scheme::Cooperative, group, options);
+        runGroup("coop", group, options);
     const RunResult &cpe =
-        runGroup(llc::Scheme::DynamicCpe, group, options);
+        runGroup("cpe", group, options);
 
     // Static energy is proportional to powered ways x time; compare
     // per cycle so runtime differences don't blur the comparison.
@@ -105,11 +105,11 @@ TEST(Integration, CooperativePerformanceIsCompetitive)
     const RunOptions options = testOptions();
 
     const double fair =
-        groupWeightedSpeedup(llc::Scheme::FairShare, group, options);
+        groupWeightedSpeedup("fairshare", group, options);
     const double ucp =
-        groupWeightedSpeedup(llc::Scheme::Ucp, group, options);
+        groupWeightedSpeedup("ucp", group, options);
     const double coop =
-        groupWeightedSpeedup(llc::Scheme::Cooperative, group, options);
+        groupWeightedSpeedup("coop", group, options);
 
     EXPECT_GT(coop, 0.85 * fair);
     EXPECT_GT(coop, 0.85 * ucp);
@@ -122,7 +122,7 @@ TEST(Integration, TakeoverMachineryOnlyActiveUnderCooperative)
     const RunOptions options = testOptions();
 
     const RunResult &fair =
-        runGroup(llc::Scheme::FairShare, group, options);
+        runGroup("fairshare", group, options);
     EXPECT_EQ(fair.donor_hits + fair.donor_misses +
                   fair.recipient_hits + fair.recipient_misses,
               0u);
@@ -135,7 +135,7 @@ TEST(Integration, FlushSeriesAccountsForAllFlushes)
     const auto &group = trace::groupByName("G2-12");
     const RunOptions options = testOptions();
     const RunResult &coop =
-        runGroup(llc::Scheme::Cooperative, group, options);
+        runGroup("coop", group, options);
 
     std::uint64_t series_total = 0;
     for (const std::uint64_t bin : coop.flush_series) {
@@ -148,14 +148,12 @@ TEST(Integration, EveryTwoCoreGroupRunsUnderEveryScheme)
 {
     const RunOptions options = testOptions();
     for (const auto &group : trace::twoCoreGroups()) {
-        for (const llc::Scheme scheme :
-             {llc::Scheme::Unmanaged, llc::Scheme::FairShare,
-              llc::Scheme::DynamicCpe, llc::Scheme::Ucp,
-              llc::Scheme::Cooperative}) {
+        for (const char *scheme :
+             {"unmanaged", "fairshare", "cpe", "ucp", "coop"}) {
             const RunResult &r = runGroup(scheme, group, options);
             ASSERT_EQ(r.apps.size(), 2u) << group.name;
             EXPECT_GT(r.apps[0].ipc, 0.0)
-                << group.name << " " << llc::schemeName(scheme);
+                << group.name << " " << scheme;
         }
     }
 }
@@ -166,7 +164,7 @@ TEST(Integration, FourCoreGroupsRunUnderCooperative)
     for (const char *name : {"G4-1", "G4-5", "G4-11"}) {
         const auto &group = trace::groupByName(name);
         const RunResult &r =
-            runGroup(llc::Scheme::Cooperative, group, options);
+            runGroup("coop", group, options);
         ASSERT_EQ(r.apps.size(), 4u);
         EXPECT_LE(r.avg_ways_probed, 16.0);
         EXPECT_GT(r.avg_ways_probed, 0.0);
@@ -179,7 +177,7 @@ TEST(Integration, HighMpkiAppsMeasureHigherMpki)
     // same run.
     const auto &group = trace::groupByName("G2-4");
     const RunResult &r =
-        runGroup(llc::Scheme::FairShare, group, testOptions());
+        runGroup("fairshare", group, testOptions());
     EXPECT_GT(r.apps[0].mpki, 5.0);  // lbm
     EXPECT_LT(r.apps[1].mpki, 2.0);  // povray
     EXPECT_GT(r.apps[0].mpki, 10.0 * r.apps[1].mpki);
@@ -189,7 +187,7 @@ TEST(Integration, DramTrafficConsistent)
 {
     const auto &group = trace::groupByName("G2-8");
     const RunResult &r =
-        runGroup(llc::Scheme::Cooperative, group, testOptions());
+        runGroup("coop", group, testOptions());
     // Every LLC miss becomes a DRAM access (reads + writes >= misses
     // modulo warm-up reset boundary effects).
     std::uint64_t misses = 0;

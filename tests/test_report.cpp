@@ -77,7 +77,7 @@ TEST(Report, EndToEndDumpFromRealRun)
     options.scale = RunScale::Test;
     const auto &group = trace::groupByName("G2-10");
     const RunResult &r =
-        runGroup(llc::Scheme::Cooperative, group, options);
+        runGroup("coop", group, options);
     const std::string dump = formatRunResult(r, "coop");
     EXPECT_NE(dump.find("coop.core0.sjeng.ipc"), std::string::npos);
     EXPECT_NE(dump.find("coop.core1.calculix.mpki"),

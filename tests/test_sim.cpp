@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/cli.hpp"
 #include "sim/runner.hpp"
 
 using namespace coopsim;
@@ -82,16 +83,22 @@ TEST(Metrics, Normalisation)
     EXPECT_DOUBLE_EQ(out[1], 2.0);
 }
 
-TEST(Runner, ScaleFromArgsParsesFlags)
+TEST(Runner, ParseCliScaleFlags)
 {
     const char *full[] = {"bench", "--full"};
-    EXPECT_EQ(scaleFromArgs(2, const_cast<char **>(full)),
+    EXPECT_EQ(api::parseCli(2, const_cast<char **>(full),
+                            api::kBenchFlags, nullptr)
+                  .scale,
               RunScale::Paper);
     const char *test_scale[] = {"bench", "--scale=test"};
-    EXPECT_EQ(scaleFromArgs(2, const_cast<char **>(test_scale)),
+    EXPECT_EQ(api::parseCli(2, const_cast<char **>(test_scale),
+                            api::kBenchFlags, nullptr)
+                  .scale,
               RunScale::Test);
     const char *none[] = {"bench"};
-    EXPECT_EQ(scaleFromArgs(1, const_cast<char **>(none)),
+    EXPECT_EQ(api::parseCli(1, const_cast<char **>(none),
+                            api::kBenchFlags, nullptr)
+                  .scale,
               RunScale::Bench);
 }
 
@@ -101,8 +108,8 @@ TEST(Runner, MemoisesIdenticalRuns)
     RunOptions options;
     options.scale = RunScale::Test;
     const auto &group = trace::groupByName("G2-10");
-    const RunResult &a = runGroup(llc::Scheme::FairShare, group, options);
-    const RunResult &b = runGroup(llc::Scheme::FairShare, group, options);
+    const RunResult &a = runGroup("fairshare", group, options);
+    const RunResult &b = runGroup("fairshare", group, options);
     EXPECT_EQ(&a, &b); // same cached object
 }
 
@@ -114,10 +121,8 @@ TEST(Runner, DistinctOptionsAreDistinctRuns)
     RunOptions b = a;
     b.threshold = 0.2;
     const auto &group = trace::groupByName("G2-10");
-    const RunResult &ra =
-        runGroup(llc::Scheme::Cooperative, group, a);
-    const RunResult &rb =
-        runGroup(llc::Scheme::Cooperative, group, b);
+    const RunResult &ra = runGroup("coop", group, a);
+    const RunResult &rb = runGroup("coop", group, b);
     EXPECT_NE(&ra, &rb);
 }
 

@@ -616,7 +616,7 @@ TEST(ExecutorStore, StoredKeysAreServedWithoutStartingThePool)
     sim::RunOptions options;
     options.scale = sim::RunScale::Test;
     const sim::RunKey key = sim::groupKey(
-        llc::Scheme::FairShare, trace::groupByName("G2-10"), options);
+        "fairshare", trace::groupByName("G2-10"), options);
 
     // Precompute the result serially and plant it in a store.
     const sim::RunResult direct = sim::executeRun(key);

@@ -426,10 +426,8 @@ TEST(SpecAxes, SoloKeysNormaliseThePartitioner)
     b.partitioner = partition::Partitioner::EqualShare;
     // A partitioner sweep must reuse one solo run per app.
     EXPECT_EQ(soloKey("h264ref", 8, a), soloKey("h264ref", 8, b));
-    EXPECT_NE(groupKey(llc::Scheme::Cooperative,
-                       trace::groupByName("G8-cpu1"), a),
-              groupKey(llc::Scheme::Cooperative,
-                       trace::groupByName("G8-cpu1"), b));
+    EXPECT_NE(groupKey("coop", trace::groupByName("G8-cpu1"), a),
+              groupKey("coop", trace::groupByName("G8-cpu1"), b));
 }
 
 // ---------------------------------------------------------------------------
