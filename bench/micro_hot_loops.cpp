@@ -6,7 +6,11 @@
  *
  *  1. masked tag lookup / victim selection in SetAssocCache, which the
  *     bit-scan way iteration accelerates (a linear 0..63 scan is timed
- *     alongside as the reference the optimisation replaced),
+ *     alongside as the reference the optimisation replaced), plus the
+ *     banked variants: the slice-selection hash alone (mod and
+ *     xor-fold, slice_hash_ns) and a hashed 4-slice lookup over the
+ *     same total geometry (banked_lookup_ns; the CI hotpath-smoke leg
+ *     asserts it stays within 1.5x of the monolithic lookup),
  *  2. UMON ATD accesses with a full (sample_period = 1) directory, the
  *     per-access cost the incremental recency ordering shaved,
  *  3. the event-loop driver itself: net arbitration + dispatch cost
@@ -40,6 +44,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -50,6 +55,7 @@
 
 #include "cache/cache.hpp"
 #include "common/rng.hpp"
+#include "llc/slice_hash.hpp"
 #include "sim/min_clock_tree.hpp"
 #include "sim/system.hpp"
 #include "store/result_store.hpp"
@@ -155,6 +161,88 @@ benchMaskedLookup(std::uint64_t &checksum)
                                      masks[i]);
         }
         times.victim_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    }
+    return times;
+}
+
+struct SliceHashTimes
+{
+    double mod_ns = 0.0;
+    double xor_ns = 0.0;
+    double banked_lookup_ns = 0.0;
+};
+
+/**
+ * Times the slice-selection hash stage and the full banked lookup it
+ * fronts: the same 1 MiB / 16-way geometry as benchMaskedLookup, split
+ * into 4 slices, each access paying one xor-fold bank() plus one
+ * bank-local masked lookup. banked_lookup_ns vs
+ * masked_lookup_bitscan_ns is therefore the per-access cost of banking
+ * itself (hash + smaller per-slice set array); CI bounds the ratio.
+ */
+SliceHashTimes
+benchSliceHash(std::uint64_t &checksum)
+{
+    constexpr std::uint32_t kBanks = 4;
+    constexpr std::uint64_t kBankSets = 1024 / kBanks;
+    constexpr std::size_t kOps = 1u << 20;
+    const llc::SliceHash mod(llc::SliceHashKind::Mod, kBanks, 64,
+                             kBankSets);
+    const llc::SliceHash fold(llc::SliceHashKind::Xor, kBanks, 64,
+                              kBankSets);
+
+    // The same (addr, mask) stream shape as benchMaskedLookup, over
+    // the banked set range.
+    Rng rng(13);
+    std::vector<Addr> addrs(kOps);
+    std::vector<cache::WayMask> masks(kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+        addrs[i] = (rng.nextBelow(1u << 12) << 16) |
+                   (rng.nextBelow(kBankSets * kBanks) << 6);
+        cache::WayMask mask = rng.nextBelow(1u << 16);
+        masks[i] = mask ? mask : cache::fullMask(16);
+    }
+
+    SliceHashTimes times;
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOps; ++i) {
+            checksum += mod.bank(addrs[i]);
+        }
+        times.mod_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    }
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOps; ++i) {
+            checksum += fold.bank(addrs[i]);
+        }
+        times.xor_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
+    }
+
+    // Four 256 KiB slices, each ~3/4 full like the monolithic array.
+    std::vector<std::unique_ptr<cache::SetAssocCache>> banks;
+    for (std::uint32_t b = 0; b < kBanks; ++b) {
+        banks.push_back(std::make_unique<cache::SetAssocCache>(
+            cache::CacheGeometry{kBankSets * 16 * 64, 16, 64}));
+        for (SetId set = 0; set < kBankSets; ++set) {
+            for (std::uint32_t w = 0; w < 12; ++w) {
+                const Addr addr = (rng.nextBelow(1u << 12) << 16) |
+                                  (static_cast<Addr>(set) << 6);
+                const WayId way =
+                    banks[b]->victim(set, cache::fullMask(16));
+                banks[b]->insert(addr, set, way,
+                                 static_cast<CoreId>(rng.nextBelow(2)),
+                                 false);
+            }
+        }
+    }
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kOps; ++i) {
+            const std::uint32_t b = fold.bank(addrs[i]);
+            checksum += banks[b]->lookup(addrs[i], masks[i]).hit;
+        }
+        times.banked_lookup_ns = seconds(t0, Clock::now()) * 1e9 / kOps;
     }
     return times;
 }
@@ -832,6 +920,14 @@ main(int argc, char **argv)
     std::printf("masked victim (bit-scan)   %8.2f ns/op\n",
                 lookup.victim_ns);
 
+    const SliceHashTimes slice = benchSliceHash(checksum);
+    std::printf("slice hash (mod)           %8.2f ns/op\n",
+                slice.mod_ns);
+    std::printf("slice hash (xor fold)      %8.2f ns/op\n",
+                slice.xor_ns);
+    std::printf("banked lookup (4 slices)   %8.2f ns/op\n",
+                slice.banked_lookup_ns);
+
     const double umon_ns = benchUmonAccess(checksum);
     std::printf("UMON access (full ATD)     %8.2f ns/op\n", umon_ns);
 
@@ -888,6 +984,9 @@ main(int argc, char **argv)
             "  \"masked_lookup_bitscan_ns\": %.3f,\n"
             "  \"masked_lookup_linear_ns\": %.3f,\n"
             "  \"masked_victim_ns\": %.3f,\n"
+            "  \"slice_hash_mod_ns\": %.3f,\n"
+            "  \"slice_hash_ns\": %.3f,\n"
+            "  \"banked_lookup_ns\": %.3f,\n"
             "  \"umon_access_ns\": %.3f,\n"
             "  \"run_step_ns\": %.3f,\n"
             "  \"run_step_perop_ns\": %.3f,\n"
@@ -907,6 +1006,7 @@ main(int argc, char **argv)
             gitRevision().c_str(),
             sim::RunExecutor::instance().threads(),
             lookup.bitscan_ns, lookup.linear_ns, lookup.victim_ns,
+            slice.mod_ns, slice.xor_ns, slice.banked_lookup_ns,
             umon_ns, driver.batchedNs(), driver.peropNs(),
             driver.baseline_ns, replay.replayNs(), replay.generateNs(),
             single.batched_s, single.perop_s,

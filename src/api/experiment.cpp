@@ -98,6 +98,11 @@ ExperimentResults::keyFor(const Cell &cell) const
         !cell.gating.empty() ? cell.gating
                              : firstOf(spec_.gating, "gating mode"));
     key.seed = cell.seed.value_or(firstOf(spec_.seeds, "seed"));
+    key.banks = cell.banks.value_or(firstOf(spec_.banks, "banks"));
+    key.slice_hash = sliceHashRegistry().get(
+        !cell.slice_hash.empty()
+            ? cell.slice_hash
+            : firstOf(spec_.slice_hashes, "slice hash"));
     return key;
 }
 
@@ -504,6 +509,23 @@ printExperiment(const ExperimentSpec &spec)
 {
     const ExperimentResults results = runExperiment(spec);
     printTable(results, {});
+
+    // Bank-contention summary on stderr (stats channel, like the
+    // executor counters): only when a banked run actually queued, so
+    // monolithic sweeps keep their stderr byte-identical.
+    std::uint64_t conflicts = 0;
+    std::uint64_t conflict_cycles = 0;
+    for (const sim::RunKey &key : results.keys()) {
+        const sim::RunResult &result = results.result(key);
+        conflicts += result.bank_conflicts;
+        conflict_cycles += result.bank_conflict_cycles;
+    }
+    if (conflicts > 0) {
+        std::fprintf(stderr,
+                     "# banks: conflicts=%llu conflict_cycles=%llu\n",
+                     static_cast<unsigned long long>(conflicts),
+                     static_cast<unsigned long long>(conflict_cycles));
+    }
 }
 
 } // namespace coopsim::api

@@ -47,6 +47,10 @@ struct Cell
     std::string repl;
     std::string gating;
     std::optional<std::uint64_t> seed;
+    /** LLC bank count (0 = topology default). */
+    std::optional<std::uint32_t> banks;
+    /** Slice-hash registry name ("mod", "xor"). */
+    std::string slice_hash;
 };
 
 /** A named per-cell metric ("speedup", "dynamic_energy", ...). */

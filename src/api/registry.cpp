@@ -1,5 +1,6 @@
 #include "api/registry.hpp"
 
+#include "llc/banked.hpp"
 #include "llc/schemes.hpp"
 #include "sim/system.hpp"
 #include "trace/spec_profiles.hpp"
@@ -73,11 +74,21 @@ schemeLabel(const std::string &name)
     return schemeRegistry().get(name).label;
 }
 
-std::unique_ptr<llc::BaseLlc>
+std::unique_ptr<llc::Llc>
 makeLlcByName(const std::string &name, const llc::LlcConfig &config,
               mem::DramModel &dram)
 {
-    return schemeRegistry().get(name).factory(config, dram);
+    const SchemeEntry &entry = schemeRegistry().get(name);
+    // Banked wrapping is needed for real bank counts and for the Xor
+    // hash (which exercises the hash stage even over one bank). The
+    // banks <= 1 + Mod default stays the direct monolithic path, with
+    // zero wrapper overhead and byte-identical behaviour.
+    if (config.banks > 1 ||
+        config.slice_hash == llc::SliceHashKind::Xor) {
+        return std::make_unique<llc::BankedLlc>(config, dram,
+                                                entry.factory);
+    }
+    return entry.factory(config, dram);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +157,18 @@ scaleRegistry()
     return registry;
 }
 
+Registry<llc::SliceHashKind> &
+sliceHashRegistry()
+{
+    static Registry<llc::SliceHashKind> registry = [] {
+        Registry<llc::SliceHashKind> r("slice hash");
+        r.add("mod", llc::SliceHashKind::Mod);
+        r.add("xor", llc::SliceHashKind::Xor);
+        return r;
+    }();
+    return registry;
+}
+
 namespace
 {
 
@@ -196,6 +219,12 @@ scaleKeyOf(sim::RunScale scale)
     return keyOfValue(scaleRegistry(), scale, "scale");
 }
 
+std::string
+sliceHashKeyOf(llc::SliceHashKind kind)
+{
+    return keyOfValue(sliceHashRegistry(), kind, "slice hash");
+}
+
 // ---------------------------------------------------------------------------
 // Workloads
 
@@ -206,8 +235,9 @@ workloadRegistry()
         Registry<trace::WorkloadGroup> r("workload group");
         for (const auto *groups :
              {&trace::twoCoreGroups(), &trace::fourCoreGroups(),
-              &trace::eightCoreGroups(),
-              &trace::sixteenCoreGroups()}) {
+              &trace::eightCoreGroups(), &trace::sixteenCoreGroups(),
+              &trace::thirtyTwoCoreGroups(),
+              &trace::sixtyFourCoreGroups()}) {
             for (const trace::WorkloadGroup &g : *groups) {
                 r.add(g.name, g);
             }
@@ -230,6 +260,8 @@ warmAllRegistries()
     trace::fourCoreGroups();
     trace::eightCoreGroups();
     trace::sixteenCoreGroups();
+    trace::thirtyTwoCoreGroups();
+    trace::sixtyFourCoreGroups();
     trace::specProfile(trace::allSpecApps().front());
     schemeRegistry();
     replPolicyRegistry();
@@ -237,6 +269,7 @@ warmAllRegistries()
     thresholdModeRegistry();
     partitionerRegistry();
     scaleRegistry();
+    sliceHashRegistry();
     workloadRegistry();
     // Trace workloads named by COOPSIM_TRACE_DIR join the registry
     // here, so executor threads and forked shard workers resolve

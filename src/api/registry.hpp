@@ -142,10 +142,17 @@ void registerScheme(const std::string &name, const std::string &label,
  *  unknown). */
 const std::string &schemeLabel(const std::string &name);
 
-/** Constructs the LLC registered as @p name (fatal if unknown). */
-std::unique_ptr<llc::BaseLlc> makeLlcByName(const std::string &name,
-                                            const llc::LlcConfig &config,
-                                            mem::DramModel &dram);
+/**
+ * Constructs the LLC registered as @p name (fatal if unknown). With
+ * config.banks > 1 — or the Xor slice hash, which needs the hash
+ * stage even over one bank — the scheme is instantiated per bank
+ * behind a BankedLlc; otherwise the scheme instance is returned
+ * directly (the monolithic path, byte-identical to the pre-banking
+ * behaviour).
+ */
+std::unique_ptr<llc::Llc> makeLlcByName(const std::string &name,
+                                        const llc::LlcConfig &config,
+                                        mem::DramModel &dram);
 
 // ---------------------------------------------------------------------------
 // Small value axes
@@ -157,6 +164,8 @@ Registry<partition::ThresholdMode> &thresholdModeRegistry();
  *  "greedy"; see partition/partitioner.hpp). */
 Registry<partition::Partitioner> &partitionerRegistry();
 Registry<sim::RunScale> &scaleRegistry();
+/** The slice-selection hashes ("mod", "xor"; llc/slice_hash.hpp). */
+Registry<llc::SliceHashKind> &sliceHashRegistry();
 
 /** Canonical names of the built-in enum values (the inverse of the
  *  registries above, for RunKey formatting). */
@@ -165,6 +174,7 @@ std::string gatingModeKeyOf(llc::GatingMode mode);
 std::string thresholdModeKeyOf(partition::ThresholdMode mode);
 std::string partitionerKeyOf(partition::Partitioner partitioner);
 std::string scaleKeyOf(sim::RunScale scale);
+std::string sliceHashKeyOf(llc::SliceHashKind kind);
 
 // ---------------------------------------------------------------------------
 // Workloads

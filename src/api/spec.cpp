@@ -103,6 +103,9 @@ validateSpec(const ExperimentSpec &spec)
     for (const std::string &mode : spec.gating) {
         gatingModeRegistry().get(mode);
     }
+    for (const std::string &hash : spec.slice_hashes) {
+        sliceHashRegistry().get(hash);
+    }
     scaleRegistry().get(spec.scale);
     for (const std::string &app : resolveSolos(spec)) {
         trace::specProfile(app); // fatal on an unknown benchmark
@@ -199,7 +202,10 @@ expandSpec(const ExperimentSpec &spec)
                 for (const std::string &tmode : spec.threshold_modes) {
                   for (const std::string &part : spec.partitioners) {
                     for (const std::string &policy : spec.repl) {
-                        for (const std::string &gating : spec.gating) {
+                      for (const std::string &gating : spec.gating) {
+                        for (const std::uint32_t banks : spec.banks) {
+                          for (const std::string &hash :
+                               spec.slice_hashes) {
                             for (const std::uint64_t seed : spec.seeds) {
                                 sim::RunKey key;
                                 key.kind = sim::RunKey::Kind::Group;
@@ -217,9 +223,14 @@ expandSpec(const ExperimentSpec &spec)
                                 key.gating =
                                     gatingModeRegistry().get(gating);
                                 key.seed = seed;
+                                key.banks = banks;
+                                key.slice_hash =
+                                    sliceHashRegistry().get(hash);
                                 keys.push_back(std::move(key));
                             }
+                          }
                         }
+                      }
                     }
                   }
                 }
@@ -247,6 +258,11 @@ expandSpec(const ExperimentSpec &spec)
                 key.repl = replPolicyRegistry().get(policy);
                 key.gating = llc::GatingMode::GatedVdd;
                 key.seed = seed;
+                // Banking is normalised like the scheme-only fields:
+                // the solo baseline runs on the topology's default
+                // organisation regardless of the sweep's banks axis.
+                key.banks = 0;
+                key.slice_hash = llc::SliceHashKind::Mod;
                 if (seen.insert(key).second) {
                     keys.push_back(std::move(key));
                 }
@@ -337,6 +353,14 @@ formatSpec(const ExperimentSpec &spec)
         }
         line("seeds", joinWords(words));
     }
+    {
+        std::vector<std::string> words;
+        for (const std::uint32_t banks : spec.banks) {
+            words.push_back(std::to_string(banks));
+        }
+        line("banks", joinWords(words));
+    }
+    line("slice_hashes", joinWords(spec.slice_hashes));
     line("scale", spec.scale);
     line("solos", joinWords(spec.solos));
     line("solo_cores", std::to_string(spec.solo_cores));
@@ -408,6 +432,14 @@ parseSpec(const std::string &text)
             for (const std::string &word : splitWords(value)) {
                 spec.seeds.push_back(parseUint(word, "seed"));
             }
+        } else if (key == "banks") {
+            spec.banks.clear();
+            for (const std::string &word : splitWords(value)) {
+                spec.banks.push_back(static_cast<std::uint32_t>(
+                    parseUint(word, "banks")));
+            }
+        } else if (key == "slice_hashes") {
+            spec.slice_hashes = splitWords(value);
         } else if (key == "scale") {
             spec.scale = value;
         } else if (key == "solos") {
@@ -455,6 +487,13 @@ formatRunKey(const sim::RunKey &key)
     field("repl", replPolicyKeyOf(key.repl));
     field("gating", gatingModeKeyOf(key.gating));
     field("seed", std::to_string(key.seed));
+    // Banking fields are appended only when non-default so every
+    // pre-banking key line (and store entry) stays byte-stable.
+    if (key.banks != 0 ||
+        key.slice_hash != llc::SliceHashKind::Mod) {
+        field("banks", std::to_string(key.banks));
+        field("slice-hash", sliceHashKeyOf(key.slice_hash));
+    }
     return out;
 }
 
@@ -531,6 +570,19 @@ tryParseRunKey(const std::string &line, sim::RunKey &out)
             if (!detail::tryParseUint(value, key.seed)) {
                 return false;
             }
+        } else if (name == "banks") {
+            std::uint64_t banks = 0;
+            if (!detail::tryParseUint(value, banks)) {
+                return false;
+            }
+            key.banks = static_cast<std::uint32_t>(banks);
+        } else if (name == "slice-hash") {
+            const llc::SliceHashKind *hash =
+                sliceHashRegistry().find(value);
+            if (hash == nullptr) {
+                return false;
+            }
+            key.slice_hash = *hash;
         } else {
             return false;
         }

@@ -93,6 +93,11 @@ struct ExperimentSpec
     std::vector<std::string> repl = {"lru"};
     std::vector<std::string> gating = {"gatedvdd"};
     std::vector<std::uint64_t> seeds = {42};
+    /** LLC bank counts; 0 = the topology row's default (monolithic
+     *  through 16 cores, banked 32/64-core rows). */
+    std::vector<std::uint32_t> banks = {0};
+    /** Slice-hash registry names ("mod", "xor"). */
+    std::vector<std::string> slice_hashes = {"mod"};
     /** Scale-registry name: "test", "bench" or "paper". */
     std::string scale = "bench";
     /** Extra standalone solo runs (Table 3): app names or "*" for

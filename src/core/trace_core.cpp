@@ -8,7 +8,7 @@ namespace coopsim::core
 {
 
 TraceCore::TraceCore(CoreId id, const CoreConfig &config,
-                     llc::BaseLlc &llc, OpStream &stream)
+                     llc::Llc &llc, OpStream &stream)
     : id_(id), config_(config), llc_(llc), stream_(stream),
       l1_(config.l1)
 {

@@ -71,7 +71,7 @@ class TraceCore
      * @param llc    The shared LLC this core accesses on L1 misses.
      * @param stream Workload generator feeding the core.
      */
-    TraceCore(CoreId id, const CoreConfig &config, llc::BaseLlc &llc,
+    TraceCore(CoreId id, const CoreConfig &config, llc::Llc &llc,
               OpStream &stream);
 
     /**
@@ -149,7 +149,7 @@ class TraceCore
 
     CoreId id_;
     CoreConfig config_;
-    llc::BaseLlc &llc_;
+    llc::Llc &llc_;
     OpStream &stream_;
     cache::L1Cache l1_;
 

@@ -94,6 +94,10 @@ class EnergyAccounting
 
     std::uint64_t accesses() const { return accesses_; }
 
+    /** Total tag ways probed (so banked LLCs can aggregate the exact
+     *  cross-bank average instead of averaging per-bank averages). */
+    std::uint64_t waysProbedSum() const { return ways_probed_sum_; }
+
   private:
     CacheEnergyProfile profile_;
     std::uint32_t total_ways_;

@@ -13,7 +13,7 @@ PermissionFile::PermissionFile(std::uint32_t ways, std::uint32_t cores)
       donating_mask_(cores, 0), receiving_mask_(cores, 0)
 {
     COOPSIM_ASSERT(ways > 0 && ways <= 64, "ways must be in [1, 64]");
-    COOPSIM_ASSERT(cores > 0 && cores <= 32, "cores must be in [1, 32]");
+    COOPSIM_ASSERT(cores > 0 && cores <= 64, "cores must be in [1, 64]");
 }
 
 void

@@ -29,8 +29,9 @@
 namespace coopsim::llc
 {
 
-/** Bitmap over cores (bit c = core c). */
-using CoreMask = std::uint32_t;
+/** Bitmap over cores (bit c = core c); 64-bit for the 32/64-core
+ *  banked topologies. */
+using CoreMask = std::uint64_t;
 
 /** Classification of a way's permission state. */
 enum class WayState : std::uint8_t

@@ -101,21 +101,21 @@ BaseLlc::coreStats(CoreId core) const
 }
 
 std::uint64_t
-BaseLlc::hitsTotal() const
+Llc::hitsTotal() const
 {
     std::uint64_t total = 0;
-    for (const auto &cs : core_stats_) {
-        total += cs.hits.value();
+    for (CoreId core = 0; core < config().num_cores; ++core) {
+        total += coreStats(core).hits.value();
     }
     return total;
 }
 
 std::uint64_t
-BaseLlc::missesTotal() const
+Llc::missesTotal() const
 {
     std::uint64_t total = 0;
-    for (const auto &cs : core_stats_) {
-        total += cs.misses.value();
+    for (CoreId core = 0; core < config().num_cores; ++core) {
+        total += coreStats(core).misses.value();
     }
     return total;
 }

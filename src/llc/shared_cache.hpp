@@ -26,6 +26,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "energy/accounting.hpp"
+#include "llc/slice_hash.hpp"
 #include "mem/dram.hpp"
 #include "partition/partitioner.hpp"
 
@@ -110,6 +111,16 @@ struct LlcConfig
     /** Fig 16 time series: bin width and bin count (cycles). */
     Tick flush_series_bin = 500'000;
     std::uint32_t flush_series_bins = 24;
+
+    /** Bank (slice) count; 1 = the paper's monolithic LLC. The total
+     *  geometry is divided set-wise across banks, each bank keeping
+     *  the full way count (llc/banked.hpp). */
+    std::uint32_t banks = 1;
+    /** Slice-selection hash routing accesses to banks. */
+    SliceHashKind slice_hash = SliceHashKind::Mod;
+    /** Cycles a bank's port stays busy per access (the bank-conflict
+     *  queuing model; only meaningful when banks > 1). */
+    Tick bank_occupancy_cycles = 2;
 };
 
 /** Result of one LLC access. */
@@ -150,17 +161,18 @@ struct TakeoverEventStats
 };
 
 /**
- * Abstract shared LLC.
+ * Abstract LLC interface: what the simulated system (cores, collect())
+ * and the API layer see. Two concrete families implement it — BaseLlc
+ * (the monolithic scheme hierarchy below) and BankedLlc (llc/banked.hpp,
+ * a slice-hashed array of BaseLlc banks).
  */
-class BaseLlc
+class Llc
 {
   public:
-    BaseLlc(const LlcConfig &config, mem::DramModel &dram,
-            bool has_partition_hw);
-    virtual ~BaseLlc() = default;
+    virtual ~Llc() = default;
 
-    BaseLlc(const BaseLlc &) = delete;
-    BaseLlc &operator=(const BaseLlc &) = delete;
+    Llc(const Llc &) = delete;
+    Llc &operator=(const Llc &) = delete;
 
     /**
      * Performs a demand access by @p core.
@@ -176,12 +188,12 @@ class BaseLlc
 
     /**
      * Partitioning-epoch boundary (every 5 M cycles in the paper).
-     * Default: no-op (Unmanaged, FairShare).
      */
-    virtual void epoch(Cycle now);
+    virtual void epoch(Cycle now) = 0;
 
-    /** Ways currently powered (fractional for set-gated schemes). */
-    virtual double poweredWays() const;
+    /** Ways currently powered (fractional for set-gated schemes;
+     *  averaged over banks for a banked LLC). */
+    virtual double poweredWays() const = 0;
 
     /** Current way allocation per core (logical, for inspection). */
     virtual std::vector<std::uint32_t> allocation() const = 0;
@@ -190,37 +202,102 @@ class BaseLlc
     virtual Scheme scheme() const = 0;
 
     /** Integrates leakage up to @p now (also called by accesses). */
-    void integrateStatic(Cycle now);
+    virtual void integrateStatic(Cycle now) = 0;
 
     /**
      * Zeroes all measurement counters (energy, per-core stats, flush
      * series, transfer durations). Cache contents, permissions and
      * monitor state are untouched — used at the end of warm-up.
      */
-    void resetStats(Cycle now);
+    virtual void resetStats(Cycle now) = 0;
 
     // --- inspection -----------------------------------------------------
 
-    const LlcConfig &config() const { return config_; }
-    const cache::SetAssocCache &array() const { return array_; }
-    const energy::EnergyAccounting &energy() const { return energy_; }
-    const CoreLlcStats &coreStats(CoreId core) const;
-    const TakeoverEventStats &takeoverEvents() const { return events_; }
-    const stats::TimeSeries &flushSeries() const { return flush_series_; }
+    virtual const LlcConfig &config() const = 0;
+    virtual const CoreLlcStats &coreStats(CoreId core) const = 0;
+    virtual const TakeoverEventStats &takeoverEvents() const = 0;
+    virtual const stats::TimeSeries &flushSeries() const = 0;
     /** Completed way-transfer durations in cycles (Fig 15). */
-    const std::vector<double> &transferDurations() const
-    {
-        return transfer_durations_;
-    }
+    virtual const std::vector<double> &transferDurations() const = 0;
     /** Total lines flushed LLC->memory by partitioning activity. */
-    std::uint64_t flushedLines() const { return flushed_lines_.value(); }
+    virtual std::uint64_t flushedLines() const = 0;
     /** Partitioning decisions taken. */
-    std::uint64_t epochsRun() const { return epochs_.value(); }
+    virtual std::uint64_t epochsRun() const = 0;
     /** Epochs whose allocation differed from the previous one. */
-    std::uint64_t repartitions() const { return repartitions_.value(); }
+    virtual std::uint64_t repartitions() const = 0;
+    /** Accumulated energy (summed over banks for a banked LLC). */
+    virtual energy::EnergyTotals energyTotals() const = 0;
+    /** Mean tag ways probed per access. */
+    virtual double avgWaysProbed() const = 0;
+
+    /** Bank (slice) count; 1 for the monolithic schemes. */
+    virtual std::uint32_t banks() const { return 1; }
+    /** Accesses that found their bank's port busy. */
+    virtual std::uint64_t bankConflicts() const { return 0; }
+    /** Cycles those accesses waited for the port. */
+    virtual std::uint64_t bankConflictCycles() const { return 0; }
 
     std::uint64_t hitsTotal() const;
     std::uint64_t missesTotal() const;
+
+  protected:
+    Llc() = default;
+};
+
+/**
+ * Abstract monolithic shared LLC: common state and statistics for the
+ * five scheme subclasses in llc/schemes.hpp.
+ */
+class BaseLlc : public Llc
+{
+  public:
+    BaseLlc(const LlcConfig &config, mem::DramModel &dram,
+            bool has_partition_hw);
+
+    /** Default epoch: no-op (Unmanaged, FairShare). */
+    void epoch(Cycle now) override;
+
+    double poweredWays() const override;
+
+    void integrateStatic(Cycle now) override;
+
+    void resetStats(Cycle now) override;
+
+    // --- inspection -----------------------------------------------------
+
+    const LlcConfig &config() const override { return config_; }
+    const cache::SetAssocCache &array() const { return array_; }
+    const energy::EnergyAccounting &energy() const { return energy_; }
+    const CoreLlcStats &coreStats(CoreId core) const override;
+    const TakeoverEventStats &takeoverEvents() const override
+    {
+        return events_;
+    }
+    const stats::TimeSeries &flushSeries() const override
+    {
+        return flush_series_;
+    }
+    const std::vector<double> &transferDurations() const override
+    {
+        return transfer_durations_;
+    }
+    std::uint64_t flushedLines() const override
+    {
+        return flushed_lines_.value();
+    }
+    std::uint64_t epochsRun() const override { return epochs_.value(); }
+    std::uint64_t repartitions() const override
+    {
+        return repartitions_.value();
+    }
+    energy::EnergyTotals energyTotals() const override
+    {
+        return energy_.totals();
+    }
+    double avgWaysProbed() const override
+    {
+        return energy_.avgWaysProbed();
+    }
 
   protected:
     /** Charges an access to the meters and per-core stats. */

@@ -87,6 +87,13 @@ struct RunKey
     cache::ReplPolicy repl = cache::ReplPolicy::Lru;
     llc::GatingMode gating = llc::GatingMode::GatedVdd;
     std::uint64_t seed = 42;
+    /** LLC bank override: 0 keeps the topology row's bank count
+     *  (monolithic through 16 cores, banked above); a power of two
+     *  forces that many slices. */
+    std::uint32_t banks = 0;
+    /** Slice-selection hash (only consulted when the LLC is banked,
+     *  or forced over one bank by the Xor kind). */
+    llc::SliceHashKind slice_hash = llc::SliceHashKind::Mod;
 
     bool operator==(const RunKey &) const = default;
 };

@@ -71,6 +71,11 @@ topologyTable()
         {4, 4ull << 20, 16, 20},  // paper Table 2
         {8, 8ull << 20, 32, 25},  // extrapolated (1 MB, 4 ways/core)
         {16, 16ull << 20, 64, 30},
+        // Banked rows: associativity saturates at the 64-bit mask
+        // width, so capacity keeps scaling at 1 MB/core by slicing the
+        // LLC into banks (each bank keeps the full 64 ways).
+        {32, 32ull << 20, 64, 35, 2},
+        {64, 64ull << 20, 64, 40, 4},
     };
     return table;
 }
@@ -95,8 +100,16 @@ makeSystemConfig(std::uint32_t num_cores, const std::string &scheme,
                       " cores (largest table row serves ",
                       table.back().max_cores, ")");
     }
-    COOPSIM_ASSERT(row->llc_ways >= num_cores,
-                   "topology row with fewer ways than cores");
+    // Way partitioning happens per slice: every bank keeps the row's
+    // full way count, so the constraint is per-slice ways vs. total
+    // cores regardless of how many banks the row splits into.
+    if (row->llc_ways < num_cores) {
+        COOPSIM_FATAL("topology row for ", row->max_cores,
+                      " cores provides ", row->llc_ways,
+                      " ways per slice (", row->banks,
+                      " bank(s)): way partitioning needs per-slice "
+                      "ways >= the ", num_cores, " cores sharing it");
+    }
 
     SystemConfig config;
     config.scheme = scheme;
@@ -104,6 +117,7 @@ makeSystemConfig(std::uint32_t num_cores, const std::string &scheme,
     config.llc.geometry = {row->llc_bytes, row->llc_ways, 64};
     config.llc.num_cores = num_cores;
     config.llc.hit_latency = row->hit_latency;
+    config.llc.banks = row->banks;
     applyScale(config, scale);
     return config;
 }
@@ -343,11 +357,11 @@ System::collect()
         result.apps.push_back(std::move(app));
     }
 
-    const auto &totals = llc_->energy().totals();
+    const energy::EnergyTotals totals = llc_->energyTotals();
     result.dynamic_energy_nj = totals.dynamicPaper();
     result.data_energy_nj = totals.data_nj;
     result.static_energy_nj = totals.static_nj;
-    result.avg_ways_probed = llc_->energy().avgWaysProbed();
+    result.avg_ways_probed = llc_->avgWaysProbed();
 
     const auto &ev = llc_->takeoverEvents();
     result.donor_hits = ev.donor_hits.value();
@@ -378,6 +392,9 @@ System::collect()
     result.dram_reads = dram_.stats().reads.value();
     result.dram_writebacks = dram_.stats().writebacks.value();
     result.dram_flushes = dram_.stats().flushes.value();
+
+    result.bank_conflicts = llc_->bankConflicts();
+    result.bank_conflict_cycles = llc_->bankConflictCycles();
     return result;
 }
 

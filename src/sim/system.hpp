@@ -106,7 +106,10 @@ struct SystemConfig
  * runs on. The 2- and 4-core rows are the paper's Table 2; the larger
  * rows extrapolate its scaling rule (double capacity and associativity
  * per doubling of cores, +5 cycles of hit latency per step), keeping
- * 1 MB and 4 ways of LLC per core throughout.
+ * 1 MB and 4 ways of LLC per core through 16 cores. The 32- and
+ * 64-core rows go banked instead: associativity holds at 64 (the
+ * CoreMask/WayMask width) and capacity keeps scaling at 1 MB per core
+ * by splitting the LLC into slice-hashed banks.
  */
 struct Topology
 {
@@ -115,9 +118,11 @@ struct Topology
     std::uint64_t llc_bytes;
     std::uint32_t llc_ways;
     Tick hit_latency;
+    /** LLC bank (slice) count; 1 = monolithic. */
+    std::uint32_t banks = 1;
 };
 
-/** The topology table, ascending in max_cores (2, 4, 8, 16). */
+/** The topology table, ascending in max_cores (2, 4, 8, 16, 32, 64). */
 const std::vector<Topology> &topologyTable();
 
 /**
@@ -177,6 +182,10 @@ struct RunResult
     std::uint64_t dram_reads = 0;
     std::uint64_t dram_writebacks = 0;
     std::uint64_t dram_flushes = 0;
+
+    // Bank contention (banked LLC only; zero for monolithic runs).
+    std::uint64_t bank_conflicts = 0;
+    std::uint64_t bank_conflict_cycles = 0;
 };
 
 /**
@@ -223,8 +232,8 @@ class System
     const DriverStats &driverStats() const { return driver_stats_; }
 
     /** The LLC (for inspection in tests and examples). */
-    llc::BaseLlc &llc() { return *llc_; }
-    const llc::BaseLlc &llc() const { return *llc_; }
+    llc::Llc &llc() { return *llc_; }
+    const llc::Llc &llc() const { return *llc_; }
 
     const SystemConfig &config() const { return config_; }
 
@@ -234,7 +243,7 @@ class System
     SystemConfig config_;
     std::vector<trace::AppProfile> profiles_;
     mem::DramModel dram_;
-    std::unique_ptr<llc::BaseLlc> llc_;
+    std::unique_ptr<llc::Llc> llc_;
     std::vector<std::unique_ptr<core::OpStream>> streams_;
     std::vector<std::unique_ptr<core::TraceCore>> cores_;
     DriverStats driver_stats_;

@@ -188,6 +188,8 @@ formatResult(const sim::RunResult &result)
         }
         field("apps", apps);
     }
+    field("bank_conflicts", u(result.bank_conflicts));
+    field("bank_conflict_cycles", u(result.bank_conflict_cycles));
     return out;
 }
 
@@ -274,6 +276,15 @@ tryParseResult(const std::string &text, sim::RunResult &out)
             return false;
         }
         result.apps.push_back(std::move(app));
+    }
+    // Bank-contention fields: optional as a trailing pair, so result
+    // lines written before banking existed still load (as zero).
+    if (i < words.size()) {
+        if (!takeU("bank_conflicts", result.bank_conflicts) ||
+            !takeU("bank_conflict_cycles",
+                   result.bank_conflict_cycles)) {
+            return false;
+        }
     }
     if (i != words.size()) {
         return false; // trailing garbage

@@ -152,11 +152,29 @@ sixteenCoreGroups()
     return groups;
 }
 
+const std::vector<WorkloadGroup> &
+thirtyTwoCoreGroups()
+{
+    static const std::vector<WorkloadGroup> groups =
+        heterogeneousMixes(32);
+    return groups;
+}
+
+const std::vector<WorkloadGroup> &
+sixtyFourCoreGroups()
+{
+    static const std::vector<WorkloadGroup> groups =
+        heterogeneousMixes(64);
+    return groups;
+}
+
 const WorkloadGroup &
 groupByName(const std::string &name)
 {
-    for (const auto *groups : {&twoCoreGroups(), &fourCoreGroups(),
-                               &eightCoreGroups(), &sixteenCoreGroups()}) {
+    for (const auto *groups :
+         {&twoCoreGroups(), &fourCoreGroups(), &eightCoreGroups(),
+          &sixteenCoreGroups(), &thirtyTwoCoreGroups(),
+          &sixtyFourCoreGroups()}) {
         for (const auto &g : *groups) {
             if (g.name == name) {
                 return g;

@@ -50,13 +50,20 @@ const std::vector<WorkloadGroup> &eightCoreGroups();
 /** The generated sixteen-application mixes, G16-mem1 .. G16-mix2. */
 const std::vector<WorkloadGroup> &sixteenCoreGroups();
 
+/** The generated 32-application mixes, G32-mem1 .. G32-mix2 (the
+ *  banked-topology rows). */
+const std::vector<WorkloadGroup> &thirtyTwoCoreGroups();
+
+/** The generated 64-application mixes, G64-mem1 .. G64-mix2. */
+const std::vector<WorkloadGroup> &sixtyFourCoreGroups();
+
 /**
  * Generates the heterogeneous @p num_apps-application mixes described
  * in the file comment (mem/cpu/mix, two variants each). Deterministic:
  * tier membership comes from mpkiClassOf() over the Table 3 apps in
  * table order, and variants differ only by a rotation offset into the
- * tier pools. Any num_apps >= 1 is accepted; 8 and 16 are the
- * pre-registered G8/G16 groups.
+ * tier pools. Any num_apps >= 1 is accepted; 8, 16, 32 and 64 are the
+ * pre-registered G8/G16/G32/G64 groups.
  */
 std::vector<WorkloadGroup> heterogeneousMixes(std::uint32_t num_apps);
 

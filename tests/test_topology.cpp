@@ -150,7 +150,7 @@ TEST(Topology, OutOfTableCoreCountsAreFatal)
     setThrowOnFatal(true);
     EXPECT_THROW(makeSystemConfig(0, "coop", RunScale::Test),
                  FatalError);
-    EXPECT_THROW(makeSystemConfig(17, "coop", RunScale::Test),
+    EXPECT_THROW(makeSystemConfig(65, "coop", RunScale::Test),
                  FatalError);
     setThrowOnFatal(false);
 }
