@@ -771,6 +771,36 @@ benchSingleRun(std::uint64_t &checksum)
     return times;
 }
 
+/**
+ * The same reference simulation under the composed sampling estimator
+ * (setop: 1-in-4 set sampling + 32 op-sampling windows). The sampled
+ * result is an estimate, not a bit-reproduction, so there is no
+ * equality check here — accuracy is the differential suite's job
+ * (tests/test_sampling.cpp); this measures the wall-clock the
+ * estimators buy on one run. sampling_speedup = single_run_s /
+ * sampled_run_s is the recorded acceptance number.
+ */
+double
+benchSampledRun(std::uint64_t &checksum)
+{
+    const trace::WorkloadGroup &group = trace::groupByName("G4-1");
+    sim::SystemConfig config =
+        sim::makeSystemConfig(4, "coop", sim::RunScale::Bench);
+    config.sampling.mode = sampling::Mode::SetOp;
+
+    sim::System system(config, trace::groupProfiles(group));
+    const auto t0 = Clock::now();
+    const sim::RunResult result = system.run();
+    const double sampled_s = seconds(t0, Clock::now());
+    if (result.sample_windows == 0) {
+        std::fprintf(stderr,
+                     "FATAL: sampled run reported no windows\n");
+        std::exit(1);
+    }
+    checksum += result.sample_windows;
+    return sampled_s;
+}
+
 // ---------------------------------------------------------------------------
 // Host metadata
 
@@ -960,14 +990,37 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(single.steps),
                 single.quantum_avg_ops);
 
+    const double sampled_run_s = benchSampledRun(checksum);
+    const double sampling_speedup =
+        sampled_run_s > 0.0 ? single.batched_s / sampled_run_s : 0.0;
+    std::printf("sampled run coop/G4-1 bench (setop): %.3fs, "
+                "%.2fx vs exact\n",
+                sampled_run_s, sampling_speedup);
+
     const SweepTimes sweep = benchExecutorSweep(cli.scale_name, checksum);
     const double speedup =
         sweep.parallel_s > 0.0 ? sweep.serial_s / sweep.parallel_s : 0.0;
+    // The executor can only beat the serial loop when the host gives
+    // its worker pool more than one core to spread across; a 1-core
+    // host (or --threads=1) legitimately reports ~1x, and asserting a
+    // parallel win there would fail the bench for the wrong reason.
+    // The JSON records the host-derived expectation next to the
+    // measurement so CI asserts against the right floor.
+    const unsigned worker_cores = std::min(
+        sim::RunExecutor::instance().threads(),
+        host_cores > 0 ? host_cores : 1u);
+    const double sweep_expected_min = worker_cores >= 2 ? 1.2 : 0.8;
+    const char *sweep_note =
+        worker_cores >= 2
+            ? "parallel executor expected to beat the serial sweep"
+            : "1 worker core: serial and executor sweeps are "
+              "equivalent, speedup ~1.0 expected";
     std::printf("fig05-16 sweep: %zu runs, serial %.2fs, "
-                "executor(%u threads) %.2fs, speedup %.2fx\n",
+                "executor(%u threads) %.2fs, speedup %.2fx "
+                "(expected >= %.2f; %s)\n",
                 sweep.runs, sweep.serial_s,
                 sim::RunExecutor::instance().threads(), sweep.parallel_s,
-                speedup);
+                speedup, sweep_expected_min, sweep_note);
     std::printf("# checksum %llu\n",
                 static_cast<unsigned long long>(checksum));
 
@@ -997,10 +1050,14 @@ main(int argc, char **argv)
             "  \"single_run_perop_s\": %.3f,\n"
             "  \"single_run_steps\": %llu,\n"
             "  \"quantum_avg_ops\": %.3f,\n"
+            "  \"sampled_run_s\": %.3f,\n"
+            "  \"sampling_speedup\": %.3f,\n"
             "  \"sweep_runs\": %zu,\n"
             "  \"sweep_serial_s\": %.3f,\n"
             "  \"sweep_parallel_s\": %.3f,\n"
-            "  \"sweep_speedup\": %.3f\n"
+            "  \"sweep_speedup\": %.3f,\n"
+            "  \"sweep_speedup_expected_min\": %.3f,\n"
+            "  \"sweep_speedup_note\": \"%s\"\n"
             "}\n",
             scale_name, host_cores, compilerString(),
             gitRevision().c_str(),
@@ -1011,8 +1068,9 @@ main(int argc, char **argv)
             driver.baseline_ns, replay.replayNs(), replay.generateNs(),
             single.batched_s, single.perop_s,
             static_cast<unsigned long long>(single.steps),
-            single.quantum_avg_ops, sweep.runs, sweep.serial_s,
-            sweep.parallel_s, speedup);
+            single.quantum_avg_ops, sampled_run_s, sampling_speedup,
+            sweep.runs, sweep.serial_s,
+            sweep.parallel_s, speedup, sweep_expected_min, sweep_note);
         std::fclose(json);
         std::printf("# wrote BENCH_hotpath.json\n");
     }

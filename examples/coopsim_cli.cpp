@@ -70,10 +70,11 @@ constexpr const char *kUsage =
     "                   [--supervise --shards=N [--shard-timeout=S]\n"
     "                    [--shard-retries=K]]\n"
     "                   [--record=DIR] [--trace-dir=DIR]\n"
+    "                   [--sampling=exact|set|op|setop] [--ci]\n"
     "with --spec, only --scale/--threads/--seed/--store/--shard/"
     "--merge/\n--supervise/--shards/--shard-timeout/--shard-retries/"
-    "--record/\n--trace-dir may also be given (the first three "
-    "override the spec\nfile).\n"
+    "--record/\n--trace-dir/--sampling/--ci may also be given (the "
+    "first three and\n--sampling override the spec file).\n"
     "--shard, --merge and --supervise require --spec and --store.\n"
     "--record=DIR captures the spec's workloads as .cooptrace files\n"
     "into DIR instead of running the experiment; --trace-dir=DIR (or\n"
@@ -150,6 +151,11 @@ runSupervised(const char *binary, const api::CliOptions &cli,
             // Workers must resolve trace: workloads exactly like the
             // parent that sharded the key list for them.
             args.push_back("--trace-dir=" + cli.trace_dir);
+        }
+        if (cli.sampling_set) {
+            // Same rule: workers must expand the same sampled key
+            // list the parent validates shard stores against.
+            args.push_back("--sampling=" + cli.sampling_name);
         }
         const std::vector<std::string> env = {
             std::string(supervise::kAttemptEnv) + "=" +
@@ -240,7 +246,7 @@ runSupervised(const char *binary, const api::CliOptions &cli,
     // and stdout is bit-identical to the unsharded run.
     api::attachCliStore(cli);
     api::printPreamble(effective, threads);
-    api::printExperiment(spec);
+    api::printExperiment(spec, cli.show_ci);
     return 0;
 }
 
@@ -261,7 +267,8 @@ main(int argc, char **argv)
                                 api::kFlagThreads | api::kFlagSeed |
                                 api::kFlagStore | api::kFlagShard |
                                 api::kFlagMerge | api::kFlagSupervise |
-                                api::kFlagRecord | api::kFlagTraceDir,
+                                api::kFlagRecord | api::kFlagTraceDir |
+                                api::kFlagSampling | api::kFlagCi,
                             kUsage);
     } else if (cli.shard_set || cli.merge || cli.supervise ||
                cli.shards > 0) {
@@ -323,6 +330,9 @@ main(int argc, char **argv)
         }
         if (cli.seed.has_value()) {
             spec.seeds = {*cli.seed};
+        }
+        if (cli.sampling_set) {
+            spec.sampling = {cli.sampling_name};
         }
         if (!cli.trace_dir.empty()) {
             bool any_trace = false;
@@ -406,7 +416,7 @@ main(int argc, char **argv)
         // merged store to results.coopstore.
         api::attachCliStore(cli);
         api::printPreamble(effective, threads);
-        api::printExperiment(spec);
+        api::printExperiment(spec, cli.show_ci);
         return 0;
     }
 
@@ -420,6 +430,9 @@ main(int argc, char **argv)
     spec.thresholds = {cli.threshold.value_or(0.05)};
     spec.seeds = {cli.seed.value_or(42)};
     spec.scale = cli.scale_name;
+    if (cli.sampling_set) {
+        spec.sampling = {cli.sampling_name};
+    }
     const api::ExperimentResults results = api::runExperiment(spec);
 
     api::Cell cell;
@@ -439,7 +452,11 @@ main(int argc, char **argv)
                 api::schemeLabel(cli.scheme).c_str(),
                 cli.group.c_str(), spec.thresholds[0],
                 static_cast<unsigned long long>(spec.seeds[0]));
-    std::printf("weighted_speedup %f\n%s", ws,
-                sim::formatRunResult(result, "run").c_str());
+    std::printf("weighted_speedup %f\n", ws);
+    if (cli.show_ci) {
+        std::printf("weighted_speedup_ci %f\n",
+                    results.weightedSpeedupCi(cell));
+    }
+    std::printf("%s", sim::formatRunResult(result, "run").c_str());
     return 0;
 }

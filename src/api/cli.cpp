@@ -153,6 +153,14 @@ parseCli(int argc, char **argv, unsigned allowed, const char *usage,
                 COOPSIM_FATAL("--trace-dir requires a directory path");
             }
             options.trace_dir = value;
+        } else if ((allowed & kFlagSampling) &&
+                   takeValue(arg, "--sampling=", value)) {
+            samplingRegistry().get(value); // fatal on unknown name
+            options.sampling_name = value;
+            options.sampling_set = true;
+        } else if ((allowed & kFlagCi) &&
+                   std::strcmp(arg, "--ci") == 0) {
+            options.show_ci = true;
         } else if ((allowed & kFlagSupervise) &&
                    takeValue(arg, "--shard-retries=", value)) {
             const std::uint64_t n = parseUint(value, "--shard-retries");

@@ -49,6 +49,8 @@ enum CliFlag : unsigned
     kFlagSupervise = 1u << 12,
     kFlagRecord = 1u << 13,    //!< --record=DIR (capture trace files)
     kFlagTraceDir = 1u << 14,  //!< --trace-dir=DIR (trace: workloads)
+    kFlagSampling = 1u << 15,  //!< --sampling=exact|set|op|setop
+    kFlagCi = 1u << 16,        //!< --ci (print value±ci table cells)
 };
 
 /** The fig/table benches: scale + threads + result store. */
@@ -59,7 +61,7 @@ inline constexpr unsigned kExampleFlags =
     kBenchFlags | kFlagPositional;
 /** Everything (coopsim_cli); derived from the last enumerator so a
  *  new flag is included automatically. */
-inline constexpr unsigned kAllFlags = (kFlagTraceDir << 1) - 1;
+inline constexpr unsigned kAllFlags = (kFlagCi << 1) - 1;
 
 /** Parsed command line. */
 struct CliOptions
@@ -103,6 +105,13 @@ struct CliOptions
     /** --trace-dir=DIR: register DIR's trace sets as `trace:<name>`
      *  workloads before the spec resolves; empty = none. */
     std::string trace_dir;
+    /** --sampling=NAME: sampling-mode registry name that overrides
+     *  the spec file's sampling axis. */
+    std::string sampling_name = "exact";
+    /** True when --sampling appeared. */
+    bool sampling_set = false;
+    /** --ci: render normalised table cells as value±ci. */
+    bool show_ci = false;
     std::vector<std::string> positional;
 };
 

@@ -1,6 +1,7 @@
 #include "api/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -25,6 +26,21 @@ firstOf(const std::vector<T> &axis, const char *what)
                       " and the spec's ", what, " axis is empty");
     }
     return axis.front();
+}
+
+/** Resolves a sampling-mode name onto @p key with the same knob
+ *  canonicalisation expandSpec() uses, so cell-addressed keys hash
+ *  identically to the prefetched ones. */
+void
+applySampling(const ExperimentSpec &spec, const std::string &name,
+              sim::RunKey &key)
+{
+    const sampling::Mode mode = samplingRegistry().get(name);
+    key.sampling = mode;
+    key.set_sample_period =
+        sampling::setSampled(mode) ? spec.set_sample_period : 0;
+    key.op_sample_windows =
+        mode != sampling::Mode::Exact ? spec.op_sample_windows : 0;
 }
 
 } // namespace
@@ -103,6 +119,10 @@ ExperimentResults::keyFor(const Cell &cell) const
         !cell.slice_hash.empty()
             ? cell.slice_hash
             : firstOf(spec_.slice_hashes, "slice hash"));
+    applySampling(spec_, !cell.sampling.empty()
+                             ? cell.sampling
+                             : firstOf(spec_.sampling, "sampling mode"),
+                  key);
     return key;
 }
 
@@ -137,6 +157,12 @@ ExperimentResults::soloResult(const std::string &app,
                            : firstOf(spec_.repl, "replacement policy"));
     key.gating = llc::GatingMode::GatedVdd;
     key.seed = cell.seed.value_or(firstOf(spec_.seeds, "seed"));
+    // Solos inherit the sweep's sampling mode (see expandSpec), so a
+    // sampled sweep never blocks on exact-speed baselines.
+    applySampling(spec_, !cell.sampling.empty()
+                             ? cell.sampling
+                             : firstOf(spec_.sampling, "sampling mode"),
+                  key);
     return result(key);
 }
 
@@ -163,10 +189,54 @@ ExperimentResults::weightedSpeedup(const Cell &cell) const
 }
 
 double
+ExperimentResults::weightedSpeedupCi(const Cell &cell) const
+{
+    const trace::WorkloadGroup &group =
+        workloadRegistry().get(cell.group);
+    const auto cores = static_cast<std::uint32_t>(group.apps.size());
+    const sim::RunResult &shared = result(cell);
+    // Per-app speedup s_i = shared_i / alone_i. The IPC CIs are
+    // dominated by the estimators' systematic allowance, which is
+    // *correlated* across the shared run's apps (every app is measured
+    // through the same sampled sets and the same detail windows), so
+    // the propagation is fully linear rather than in quadrature:
+    // ci(s_i) = s_i * (ci_sh/sh + ci_al/al), and the sum over apps
+    // (Equation 1 is a sum) takes the plain sum of the per-app CIs.
+    // Quadrature would divide by a sqrt(n) the correlated errors
+    // never earn.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < group.apps.size(); ++i) {
+        const sim::AppResult &app = shared.apps.at(i);
+        const sim::RunResult &solo =
+            soloResult(group.apps[i], cores, cell);
+        const sim::AppResult &alone = solo.apps.at(0);
+        if (app.ipc <= 0.0 || alone.ipc <= 0.0) {
+            continue;
+        }
+        const double s = app.ipc / alone.ipc;
+        sum += s * (app.ipc_ci / app.ipc + alone.ipc_ci / alone.ipc);
+    }
+    return sum;
+}
+
+double
 ExperimentResults::metric(const std::string &name,
                           const Cell &cell) const
 {
     return metricRegistry().get(name)(*this, cell);
+}
+
+double
+ExperimentResults::metricCi(const std::string &name,
+                            const Cell &cell) const
+{
+    // IPC is the only per-app quantity the estimators attach a CI to,
+    // so only the speedup metric can propagate one; energy and other
+    // counter metrics report a zero half-width.
+    if (name == "speedup") {
+        return weightedSpeedupCi(cell);
+    }
+    return 0.0;
 }
 
 ExperimentResults
@@ -191,47 +261,90 @@ namespace
 void
 printNormalisedRows(
     const ExperimentResults &results, const MetricFn &metric,
-    int group_width, std::size_t columns,
+    bool show_ci, int group_width, std::size_t columns,
     const std::function<Cell(const std::string &)> &baseline_cell,
     const std::function<Cell(const std::string &, std::size_t)> &cell_at)
 {
+    // CI of a normalised cell v/b: the relative half-widths of value
+    // and baseline add in quadrature; the AVG row's geometric mean
+    // divides the root-sum-square of the relative CIs by the row
+    // count. Exact runs carry zero CIs, so the ± columns print 0.000.
+    const std::string &metric_name = results.spec().metric;
+    auto cell_ci = [&](const Cell &cell) {
+        return show_ci ? results.metricCi(metric_name, cell) : 0.0;
+    };
     std::vector<std::vector<double>> norms(columns);
+    std::vector<std::vector<double>> rel_cis(columns);
     for (const trace::WorkloadGroup &group : results.groups()) {
-        const double baseline =
-            metric(results, baseline_cell(group.name));
+        const Cell base_cell = baseline_cell(group.name);
+        const double baseline = metric(results, base_cell);
+        const double baseline_ci = cell_ci(base_cell);
         std::printf("%-*s", group_width, group.name.c_str());
         for (std::size_t i = 0; i < columns; ++i) {
-            const double norm = sim::normalizeTo(
-                metric(results, cell_at(group.name, i)), baseline);
+            const Cell cell = cell_at(group.name, i);
+            const double value = metric(results, cell);
+            const double norm = sim::normalizeTo(value, baseline);
             norms[i].push_back(norm);
-            std::printf(" %12.3f", norm);
+            if (!show_ci) {
+                std::printf(" %12.3f", norm);
+                continue;
+            }
+            double rel = 0.0;
+            if (value != 0.0 && baseline != 0.0) {
+                const double rv = cell_ci(cell) / value;
+                const double rb = baseline_ci / baseline;
+                rel = std::sqrt(rv * rv + rb * rb);
+            }
+            rel_cis[i].push_back(rel);
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.3f±%.3f", norm,
+                          std::fabs(norm) * rel);
+            std::printf(" %14s", buf);
         }
         std::printf("\n");
     }
     std::printf("%-*s", group_width, "AVG");
     for (std::size_t i = 0; i < columns; ++i) {
-        std::printf(" %12.3f", stats::geomean(norms[i]));
+        const double gm = stats::geomean(norms[i]);
+        if (!show_ci) {
+            std::printf(" %12.3f", gm);
+            continue;
+        }
+        double sum_sq = 0.0;
+        for (const double rel : rel_cis[i]) {
+            sum_sq += rel * rel;
+        }
+        const double gm_rel =
+            rel_cis[i].empty()
+                ? 0.0
+                : std::sqrt(sum_sq) /
+                      static_cast<double>(rel_cis[i].size());
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f±%.3f", gm,
+                      std::fabs(gm) * gm_rel);
+        std::printf(" %14s", buf);
     }
     std::printf("\n");
 }
 
 void
 printSchemeTable(const ExperimentResults &results,
-                 const MetricFn &metric)
+                 const MetricFn &metric, bool show_ci)
 {
     const ExperimentSpec &spec = results.spec();
+    const int col = show_ci ? 14 : 12;
     std::printf("%s\n", spec.title.c_str());
     std::printf("# normalised to %s; %s is better\n",
                 schemeLabel(spec.baseline).c_str(),
                 spec.higher_better ? "higher" : "lower");
     std::printf("%-8s", "group");
     for (const std::string &scheme : spec.schemes) {
-        std::printf(" %12s", schemeLabel(scheme).c_str());
+        std::printf(" %*s", col, schemeLabel(scheme).c_str());
     }
     std::printf("\n");
 
     printNormalisedRows(
-        results, metric, 8, spec.schemes.size(),
+        results, metric, show_ci, 8, spec.schemes.size(),
         [&spec](const std::string &group) {
             Cell cell;
             cell.group = group;
@@ -248,7 +361,7 @@ printSchemeTable(const ExperimentResults &results,
 
 void
 printThresholdTable(const ExperimentResults &results,
-                    const MetricFn &metric)
+                    const MetricFn &metric, bool show_ci)
 {
     const ExperimentSpec &spec = results.spec();
     const double baseline_t = std::strtod(spec.baseline.c_str(), nullptr);
@@ -261,12 +374,12 @@ printThresholdTable(const ExperimentResults &results,
                 spec.baseline.c_str());
     std::printf("%-8s", "group");
     for (const double t : spec.thresholds) {
-        std::printf("       T=%4.2f", t);
+        std::printf("%s       T=%4.2f", show_ci ? "  " : "", t);
     }
     std::printf("\n");
 
     printNormalisedRows(
-        results, metric, 8, spec.thresholds.size(),
+        results, metric, show_ci, 8, spec.thresholds.size(),
         [baseline_t](const std::string &group) {
             Cell cell;
             cell.group = group;
@@ -283,21 +396,22 @@ printThresholdTable(const ExperimentResults &results,
 
 void
 printPartitionerTable(const ExperimentResults &results,
-                      const MetricFn &metric)
+                      const MetricFn &metric, bool show_ci)
 {
     const ExperimentSpec &spec = results.spec();
+    const int col = show_ci ? 14 : 12;
     std::printf("%s\n", spec.title.c_str());
     std::printf("# normalised to %s; %s is better\n",
                 spec.baseline.c_str(),
                 spec.higher_better ? "higher" : "lower");
     std::printf("%-10s", "group");
     for (const std::string &partitioner : spec.partitioners) {
-        std::printf(" %12s", partitioner.c_str());
+        std::printf(" %*s", col, partitioner.c_str());
     }
     std::printf("\n");
 
     printNormalisedRows(
-        results, metric, 10, spec.partitioners.size(),
+        results, metric, show_ci, 10, spec.partitioners.size(),
         [&spec](const std::string &group) {
             Cell cell;
             cell.group = group;
@@ -480,17 +594,18 @@ printBandwidthTable(const ExperimentResults &results)
 } // namespace
 
 void
-printTable(const ExperimentResults &results, const MetricFn &metric)
+printTable(const ExperimentResults &results, const MetricFn &metric,
+           bool show_ci)
 {
     const ExperimentSpec &spec = results.spec();
     const MetricFn &fn =
         metric ? metric : metricRegistry().get(spec.metric);
     if (spec.layout == "schemes") {
-        printSchemeTable(results, fn);
+        printSchemeTable(results, fn, show_ci);
     } else if (spec.layout == "thresholds") {
-        printThresholdTable(results, fn);
+        printThresholdTable(results, fn, show_ci);
     } else if (spec.layout == "partitioners") {
-        printPartitionerTable(results, fn);
+        printPartitionerTable(results, fn, show_ci);
     } else if (spec.layout == "takeover") {
         printTakeoverTable(results);
     } else if (spec.layout == "transfers") {
@@ -505,26 +620,45 @@ printTable(const ExperimentResults &results, const MetricFn &metric)
 }
 
 void
-printExperiment(const ExperimentSpec &spec)
+printExperiment(const ExperimentSpec &spec, bool show_ci)
 {
     const ExperimentResults results = runExperiment(spec);
-    printTable(results, {});
+    printTable(results, {}, show_ci);
 
     // Bank-contention summary on stderr (stats channel, like the
     // executor counters): only when a banked run actually queued, so
     // monolithic sweeps keep their stderr byte-identical.
     std::uint64_t conflicts = 0;
     std::uint64_t conflict_cycles = 0;
+    // Sampling summary (same channel, same only-when-present rule):
+    // total measurement windows and the worst per-app relative CI.
+    std::uint64_t windows = 0;
+    double max_rel_ci = 0.0;
     for (const sim::RunKey &key : results.keys()) {
         const sim::RunResult &result = results.result(key);
         conflicts += result.bank_conflicts;
         conflict_cycles += result.bank_conflict_cycles;
+        windows += result.sample_windows;
+        if (result.sample_windows > 0) {
+            for (const sim::AppResult &app : result.apps) {
+                if (app.ipc > 0.0) {
+                    max_rel_ci =
+                        std::max(max_rel_ci, app.ipc_ci / app.ipc);
+                }
+            }
+        }
     }
     if (conflicts > 0) {
         std::fprintf(stderr,
                      "# banks: conflicts=%llu conflict_cycles=%llu\n",
                      static_cast<unsigned long long>(conflicts),
                      static_cast<unsigned long long>(conflict_cycles));
+    }
+    if (windows > 0) {
+        std::fprintf(stderr,
+                     "# sampling: windows=%llu max_rel_ci=%.4f\n",
+                     static_cast<unsigned long long>(windows),
+                     max_rel_ci);
     }
 }
 

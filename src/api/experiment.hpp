@@ -51,6 +51,8 @@ struct Cell
     std::optional<std::uint32_t> banks;
     /** Slice-hash registry name ("mod", "xor"). */
     std::string slice_hash;
+    /** Sampling-mode registry name ("exact", "set", "op", "setop"). */
+    std::string sampling;
 };
 
 /** A named per-cell metric ("speedup", "dynamic_energy", ...). */
@@ -100,8 +102,21 @@ class ExperimentResults
     /** Weighted speedup (Equation 1) of @p cell. */
     double weightedSpeedup(const Cell &cell) const;
 
+    /**
+     * Half-width of the weighted-speedup confidence interval of
+     * @p cell: the per-app IPC CIs of the shared and solo runs
+     * (populated by the sampling estimators; zero for exact runs)
+     * propagated linearly through Equation 1 — the estimator biases
+     * are correlated across apps, so quadrature would understate.
+     */
+    double weightedSpeedupCi(const Cell &cell) const;
+
     /** Evaluates the metric registered as @p name on @p cell. */
     double metric(const std::string &name, const Cell &cell) const;
+
+    /** CI half-width of the metric @p name on @p cell ("speedup"
+     *  propagates the sampled IPC CIs; other metrics report 0). */
+    double metricCi(const std::string &name, const Cell &cell) const;
 
   private:
     ExperimentSpec spec_;
@@ -118,13 +133,16 @@ ExperimentResults runExperiment(const ExperimentSpec &spec);
  * column per threshold normalised to the baseline threshold. Both end
  * with a geometric-mean AVG row. @p metric overrides the spec's named
  * metric (custom benches); the default resolves spec.metric through
- * the metric registry.
+ * the metric registry. With @p show_ci the normalised layouts print
+ * each cell as `value±ci` (the sampling estimators' confidence
+ * interval propagated through the normalisation); exact sweeps print
+ * ±0.000.
  */
 void printTable(const ExperimentResults &results,
-                const MetricFn &metric = {});
+                const MetricFn &metric = {}, bool show_ci = false);
 
 /** runExperiment + printTable: the `coopsim_cli --spec` entry point. */
-void printExperiment(const ExperimentSpec &spec);
+void printExperiment(const ExperimentSpec &spec, bool show_ci = false);
 
 } // namespace coopsim::api
 

@@ -169,6 +169,20 @@ sliceHashRegistry()
     return registry;
 }
 
+Registry<sampling::Mode> &
+samplingRegistry()
+{
+    static Registry<sampling::Mode> registry = [] {
+        Registry<sampling::Mode> r("sampling mode");
+        r.add("exact", sampling::Mode::Exact);
+        r.add("set", sampling::Mode::Set);
+        r.add("op", sampling::Mode::Op);
+        r.add("setop", sampling::Mode::SetOp);
+        return r;
+    }();
+    return registry;
+}
+
 namespace
 {
 
@@ -225,6 +239,12 @@ sliceHashKeyOf(llc::SliceHashKind kind)
     return keyOfValue(sliceHashRegistry(), kind, "slice hash");
 }
 
+std::string
+samplingKeyOf(sampling::Mode mode)
+{
+    return keyOfValue(samplingRegistry(), mode, "sampling mode");
+}
+
 // ---------------------------------------------------------------------------
 // Workloads
 
@@ -270,6 +290,7 @@ warmAllRegistries()
     partitionerRegistry();
     scaleRegistry();
     sliceHashRegistry();
+    samplingRegistry();
     workloadRegistry();
     // Trace workloads named by COOPSIM_TRACE_DIR join the registry
     // here, so executor threads and forked shard workers resolve

@@ -35,6 +35,7 @@
 #include "common/logging.hpp"
 #include "llc/shared_cache.hpp"
 #include "partition/partitioner.hpp"
+#include "sampling/sampling.hpp"
 #include "trace/workloads.hpp"
 
 namespace coopsim::sim
@@ -166,6 +167,9 @@ Registry<partition::Partitioner> &partitionerRegistry();
 Registry<sim::RunScale> &scaleRegistry();
 /** The slice-selection hashes ("mod", "xor"; llc/slice_hash.hpp). */
 Registry<llc::SliceHashKind> &sliceHashRegistry();
+/** The sampling estimators ("exact", "set", "op", "setop";
+ *  sampling/sampling.hpp). */
+Registry<sampling::Mode> &samplingRegistry();
 
 /** Canonical names of the built-in enum values (the inverse of the
  *  registries above, for RunKey formatting). */
@@ -175,6 +179,7 @@ std::string thresholdModeKeyOf(partition::ThresholdMode mode);
 std::string partitionerKeyOf(partition::Partitioner partitioner);
 std::string scaleKeyOf(sim::RunScale scale);
 std::string sliceHashKeyOf(llc::SliceHashKind kind);
+std::string samplingKeyOf(sampling::Mode mode);
 
 // ---------------------------------------------------------------------------
 // Workloads

@@ -6,6 +6,7 @@
 
 #include "api/parse_util.hpp"
 #include "api/registry.hpp"
+#include "common/geometry.hpp"
 #include "common/logging.hpp"
 #include "trace/spec_profiles.hpp"
 
@@ -105,6 +106,14 @@ validateSpec(const ExperimentSpec &spec)
     }
     for (const std::string &hash : spec.slice_hashes) {
         sliceHashRegistry().get(hash);
+    }
+    for (const std::string &mode : spec.sampling) {
+        samplingRegistry().get(mode);
+    }
+    if (spec.set_sample_period != 0 &&
+        !isPowerOfTwo(spec.set_sample_period)) {
+        COOPSIM_FATAL("set_sample_period ", spec.set_sample_period,
+                      " must be a power of two (or 0 for the default)");
     }
     scaleRegistry().get(spec.scale);
     for (const std::string &app : resolveSolos(spec)) {
@@ -206,6 +215,8 @@ expandSpec(const ExperimentSpec &spec)
                         for (const std::uint32_t banks : spec.banks) {
                           for (const std::string &hash :
                                spec.slice_hashes) {
+                           for (const std::string &samp :
+                                spec.sampling) {
                             for (const std::uint64_t seed : spec.seeds) {
                                 sim::RunKey key;
                                 key.kind = sim::RunKey::Kind::Group;
@@ -226,8 +237,25 @@ expandSpec(const ExperimentSpec &spec)
                                 key.banks = banks;
                                 key.slice_hash =
                                     sliceHashRegistry().get(hash);
+                                // Knobs that don't apply to the mode
+                                // are zeroed so keys stay canonical
+                                // (exact keys carry no sampling state
+                                // and format byte-identically to the
+                                // pre-sampling encoding).
+                                const sampling::Mode mode =
+                                    samplingRegistry().get(samp);
+                                key.sampling = mode;
+                                key.set_sample_period =
+                                    sampling::setSampled(mode)
+                                        ? spec.set_sample_period
+                                        : 0;
+                                key.op_sample_windows =
+                                    mode != sampling::Mode::Exact
+                                        ? spec.op_sample_windows
+                                        : 0;
                                 keys.push_back(std::move(key));
                             }
+                           }
                           }
                         }
                       }
@@ -244,6 +272,7 @@ expandSpec(const ExperimentSpec &spec)
     std::unordered_set<sim::RunKey, sim::RunKeyHash> seen;
     auto add_solo = [&](const std::string &app, std::uint32_t cores) {
         for (const std::string &policy : spec.repl) {
+          for (const std::string &samp : spec.sampling) {
             for (const std::uint64_t seed : spec.seeds) {
                 sim::RunKey key;
                 key.kind = sim::RunKey::Kind::Solo;
@@ -263,10 +292,25 @@ expandSpec(const ExperimentSpec &spec)
                 // organisation regardless of the sweep's banks axis.
                 key.banks = 0;
                 key.slice_hash = llc::SliceHashKind::Mod;
+                // Sampling, however, is inherited: a sampled sweep's
+                // solo baselines are sampled too (that is where most
+                // of a with_solo sweep's time goes), and the
+                // estimator error is carried into the metric CI.
+                const sampling::Mode mode =
+                    samplingRegistry().get(samp);
+                key.sampling = mode;
+                key.set_sample_period =
+                    sampling::setSampled(mode) ? spec.set_sample_period
+                                               : 0;
+                key.op_sample_windows =
+                    mode != sampling::Mode::Exact
+                        ? spec.op_sample_windows
+                        : 0;
                 if (seen.insert(key).second) {
                     keys.push_back(std::move(key));
                 }
             }
+          }
         }
     };
     if (spec.with_solo) {
@@ -361,6 +405,9 @@ formatSpec(const ExperimentSpec &spec)
         line("banks", joinWords(words));
     }
     line("slice_hashes", joinWords(spec.slice_hashes));
+    line("sampling", joinWords(spec.sampling));
+    line("set_sample_period", std::to_string(spec.set_sample_period));
+    line("op_sample_windows", std::to_string(spec.op_sample_windows));
     line("scale", spec.scale);
     line("solos", joinWords(spec.solos));
     line("solo_cores", std::to_string(spec.solo_cores));
@@ -440,6 +487,14 @@ parseSpec(const std::string &text)
             }
         } else if (key == "slice_hashes") {
             spec.slice_hashes = splitWords(value);
+        } else if (key == "sampling") {
+            spec.sampling = splitWords(value);
+        } else if (key == "set_sample_period") {
+            spec.set_sample_period = static_cast<std::uint32_t>(
+                parseUint(value, "set_sample_period"));
+        } else if (key == "op_sample_windows") {
+            spec.op_sample_windows = static_cast<std::uint32_t>(
+                parseUint(value, "op_sample_windows"));
         } else if (key == "scale") {
             spec.scale = value;
         } else if (key == "solos") {
@@ -493,6 +548,13 @@ formatRunKey(const sim::RunKey &key)
         key.slice_hash != llc::SliceHashKind::Mod) {
         field("banks", std::to_string(key.banks));
         field("slice-hash", sliceHashKeyOf(key.slice_hash));
+    }
+    // Sampling fields follow the same rule: exact keys (the default)
+    // carry none, so every pre-sampling key line stays byte-stable.
+    if (key.sampling != sampling::Mode::Exact) {
+        field("sampling", samplingKeyOf(key.sampling));
+        field("sample-period", std::to_string(key.set_sample_period));
+        field("op-windows", std::to_string(key.op_sample_windows));
     }
     return out;
 }
@@ -583,6 +645,25 @@ tryParseRunKey(const std::string &line, sim::RunKey &out)
                 return false;
             }
             key.slice_hash = *hash;
+        } else if (name == "sampling") {
+            const sampling::Mode *mode = samplingRegistry().find(value);
+            if (mode == nullptr) {
+                return false;
+            }
+            key.sampling = *mode;
+        } else if (name == "sample-period") {
+            std::uint64_t period = 0;
+            if (!detail::tryParseUint(value, period)) {
+                return false;
+            }
+            key.set_sample_period = static_cast<std::uint32_t>(period);
+        } else if (name == "op-windows") {
+            std::uint64_t windows = 0;
+            if (!detail::tryParseUint(value, windows)) {
+                return false;
+            }
+            key.op_sample_windows =
+                static_cast<std::uint32_t>(windows);
         } else {
             return false;
         }

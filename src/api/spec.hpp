@@ -98,6 +98,13 @@ struct ExperimentSpec
     std::vector<std::uint32_t> banks = {0};
     /** Slice-hash registry names ("mod", "xor"). */
     std::vector<std::string> slice_hashes = {"mod"};
+    /** Sampling-mode registry names ("exact", "set", "op", "setop");
+     *  an axis so one spec can sweep estimator against reference. */
+    std::vector<std::string> sampling = {"exact"};
+    /** Sampling knobs (scalars, applied to every sampled key; 0 = the
+     *  estimator defaults in sampling/sampling.hpp). */
+    std::uint32_t set_sample_period = 0;
+    std::uint32_t op_sample_windows = 0;
     /** Scale-registry name: "test", "bench" or "paper". */
     std::string scale = "bench";
     /** Extra standalone solo runs (Table 3): app names or "*" for

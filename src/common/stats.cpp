@@ -12,7 +12,14 @@ void
 Average::sample(double value, double weight)
 {
     sum_ += value * weight;
-    weight_ += weight;
+    const double new_weight = weight_ + weight;
+    if (weight > 0.0) {
+        const double delta = value - wmean_;
+        wmean_ += delta * (weight / new_weight);
+        m2_ += weight * delta * (value - wmean_);
+    }
+    weight_ = new_weight;
+    ++count_;
 }
 
 void
@@ -20,12 +27,44 @@ Average::reset()
 {
     sum_ = 0.0;
     weight_ = 0.0;
+    wmean_ = 0.0;
+    m2_ = 0.0;
+    count_ = 0;
 }
 
 double
 Average::mean() const
 {
     return weight_ > 0.0 ? sum_ / weight_ : 0.0;
+}
+
+double
+Average::variance() const
+{
+    return weight_ > 0.0 && count_ > 1 ? m2_ / weight_ : 0.0;
+}
+
+double
+Average::sampleVariance() const
+{
+    // Frequency-weight correction: with unit weights this is the
+    // familiar m2 / (n - 1).
+    if (count_ < 2 || weight_ <= 0.0) {
+        return 0.0;
+    }
+    const double n = static_cast<double>(count_);
+    const double denom = weight_ * (n - 1.0) / n;
+    return denom > 0.0 ? m2_ / denom : 0.0;
+}
+
+double
+Average::stdError() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return std::sqrt(sampleVariance() /
+                     static_cast<double>(count_));
 }
 
 Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {}

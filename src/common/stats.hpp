@@ -33,7 +33,13 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
-/** Accumulates a weighted mean (e.g. ways probed per access). */
+/**
+ * Accumulates a weighted mean (e.g. ways probed per access) plus a
+ * numerically stable running variance (West's weighted extension of
+ * Welford's algorithm). mean() keeps the original sum/weight form so
+ * results that were computed from it stay bit-identical; the Welford
+ * mean is a separate accumulator used only by the variance terms.
+ */
 class Average
 {
   public:
@@ -41,10 +47,21 @@ class Average
     void reset();
     double mean() const;
     double weight() const { return weight_; }
+    std::uint64_t count() const { return count_; }
+
+    /** Population variance (weighted; 0 with fewer than 2 samples). */
+    double variance() const;
+    /** Unbiased sample variance with frequency weights. */
+    double sampleVariance() const;
+    /** Standard error of the mean: sqrt(sampleVariance / count). */
+    double stdError() const;
 
   private:
     double sum_ = 0.0;
     double weight_ = 0.0;
+    double wmean_ = 0.0;
+    double m2_ = 0.0;
+    std::uint64_t count_ = 0;
 };
 
 /** Fixed-bin histogram over [0, buckets). Out-of-range clamps to last. */

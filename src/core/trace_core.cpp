@@ -117,6 +117,25 @@ TraceCore::stepQuantum(Cycle cycle_bound, InstCount inst_bound)
 }
 
 void
+TraceCore::fastForward(InstCount insts, Cycle cycles)
+{
+    // Outstanding fills ride across the jump: their remaining latency
+    // is stall debt the next detail window still owes (dropping them
+    // would forgive every miss in flight at a window boundary — at
+    // high core counts, where fill latencies exceed the window
+    // length, that forgives most misses the window issued). Position
+    // within the ROB is preserved by advancing inst_no with the jump.
+    for (Outstanding &o : window_) {
+        if (o.ready > cycle_) {
+            o.ready += cycles;
+        }
+        o.inst_no += insts;
+    }
+    retired_ += insts;
+    cycle_ += cycles;
+}
+
+void
 TraceCore::startMeasurement()
 {
     measure_insts_ = retired_;

@@ -96,6 +96,17 @@ class TraceCore
      */
     std::uint64_t stepQuantum(Cycle cycle_bound, InstCount inst_bound);
 
+    /**
+     * Fast-forward jump for op sampling (src/sampling/): advances the
+     * retired count by @p insts and the clock by @p cycles without
+     * consuming ops or touching the memory hierarchy — the op stream
+     * stays where it is, so the next detail window resumes on the op
+     * the last one stopped before. Outstanding fills ride across the
+     * jump with their remaining latency intact — in-flight stall debt
+     * belongs to the next detail window.
+     */
+    void fastForward(InstCount insts, Cycle cycles);
+
     /** Local clock. Advances monotonically with step(). */
     Cycle cycle() const { return cycle_; }
 

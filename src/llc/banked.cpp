@@ -60,21 +60,29 @@ BankedLlc::BankedLlc(const LlcConfig &config, mem::DramModel &dram,
                                    config_.flush_series_bins);
 }
 
+Cycle
+BankedLlc::portAccess(Addr addr, Cycle now)
+{
+    if (config_.banks <= 1) {
+        return now;
+    }
+    const std::uint32_t b = hash_.bank(addr);
+    Cycle start = now;
+    Cycle &busy = busy_until_[b];
+    if (busy > now) {
+        start = busy;
+        ++conflicts_;
+        conflict_cycles_ += busy - now;
+    }
+    busy = start + config_.bank_occupancy_cycles;
+    return start;
+}
+
 LlcAccess
 BankedLlc::access(CoreId core, Addr addr, AccessType type, Cycle now)
 {
-    const std::uint32_t b = hash_.bank(addr);
-    Cycle start = now;
-    if (config_.banks > 1) {
-        Cycle &busy = busy_until_[b];
-        if (busy > now) {
-            start = busy;
-            ++conflicts_;
-            conflict_cycles_ += busy - now;
-        }
-        busy = start + config_.bank_occupancy_cycles;
-    }
-    return banks_[b]->access(core, addr, type, start);
+    const Cycle start = portAccess(addr, now);
+    return banks_[hash_.bank(addr)]->access(core, addr, type, start);
 }
 
 void

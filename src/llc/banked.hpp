@@ -80,6 +80,15 @@ class BankedLlc final : public Llc
     double avgWaysProbed() const override;
 
     std::uint32_t banks() const override { return config_.banks; }
+    Cycle portAccess(Addr addr, Cycle now) override;
+    void carryBacklog(Cycle from, Cycle delta) override
+    {
+        for (Cycle &busy : busy_until_) {
+            if (busy > from) {
+                busy += delta;
+            }
+        }
+    }
     std::uint64_t bankConflicts() const override { return conflicts_; }
     std::uint64_t bankConflictCycles() const override
     {

@@ -237,6 +237,33 @@ class Llc
     /** Cycles those accesses waited for the port. */
     virtual std::uint64_t bankConflictCycles() const { return 0; }
 
+    /**
+     * Claims @p addr's bank port at @p now without touching the
+     * arrays: returns the cycle the access would actually start after
+     * any port conflict, holding the port for the usual occupancy.
+     * Monolithic schemes have no port model and return @p now. The
+     * set-sampling decorator uses this to charge unsampled accesses
+     * the same slice contention the sampled ones measure.
+     */
+    virtual Cycle portAccess(Addr addr, Cycle now)
+    {
+        (void)addr;
+        return now;
+    }
+
+    /**
+     * Op-sampling support, mirroring mem::DramModel::carryBacklog:
+     * port busy-until state pending at @p from moves forward by
+     * @p delta when the clock jumps over a fast-forward gap, so slice
+     * contention survives the jump. No-op for schemes without a port
+     * model.
+     */
+    virtual void carryBacklog(Cycle from, Cycle delta)
+    {
+        (void)from;
+        (void)delta;
+    }
+
     std::uint64_t hitsTotal() const;
     std::uint64_t missesTotal() const;
 

@@ -81,4 +81,19 @@ DramModel::resetStats()
     stats_ = DramStats{};
 }
 
+void
+DramModel::carryBacklog(Cycle from, Cycle delta)
+{
+    for (Cycle &ready : bank_ready_) {
+        if (ready > from) {
+            ready += delta;
+        }
+    }
+    for (Cycle &done : inflight_) {
+        if (done > from) {
+            done += delta;
+        }
+    }
+}
+
 } // namespace coopsim::mem

@@ -92,6 +92,17 @@ class DramModel
     /** Resets statistics (not timing state). */
     void resetStats();
 
+    /**
+     * Op-sampling support: the simulation clock is about to jump over
+     * a fast-forward gap of @p delta cycles starting at @p from, with
+     * no requests issued inside it. Timing state still pending at
+     * @p from (bank busy-until times, in-flight completions) moves
+     * forward by @p delta so the backlog the next detail window sees
+     * is the one this window left behind, not a drained queue. State
+     * already idle at @p from stays put.
+     */
+    void carryBacklog(Cycle from, Cycle delta);
+
   private:
     /** Common path: schedules a request, returns its completion cycle. */
     Cycle schedule(Addr addr, Cycle now);

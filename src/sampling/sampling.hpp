@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Statistical sampling estimators for the simulation itself.
+ *
+ * Two composable estimators trade exactness for wall-clock, with the
+ * error carried as a per-metric confidence interval instead of being
+ * silently absorbed:
+ *
+ *  - **Set sampling** (`set`): only addresses mapping to a 1/S subset
+ *    of LLC sets are simulated in the shared cache — the same
+ *    selection rule the paper's UMON ATD uses (`set % S == 0`).
+ *    Accesses to unsampled sets are charged the running average
+ *    latency of the sampled ones; counters are scaled back up by S at
+ *    collection. Because the modelled array is 1/S the capacity, the
+ *    cache also warms S× faster, so warmup shrinks by S (the same
+ *    argument `applyScale` already uses when it miniaturises the
+ *    set count per scale).
+ *
+ *  - **Op sampling** (`op`): SMARTS-style alternation of short detail
+ *    windows (simulated exactly) and fast-forward gaps (an analytic
+ *    clock jump at the last window's CPI, no ops generated, no LLC
+ *    traffic). Per-window IPC samples feed a Welford accumulator;
+ *    the reported CI is z * stderr plus a fixed relative allowance
+ *    for the estimator's systematic bias (contention missed during
+ *    another core's fast-forward gap).
+ *
+ * `setop` composes both. `exact` (the default everywhere) bypasses
+ * all of this and is byte-identical to the pre-sampling simulator —
+ * it plays the same reference role DriverMode::PerOp plays for the
+ * batched driver. The mode and its two knobs are part of RunKey
+ * identity, but are emitted only when non-default so existing key
+ * and store lines stay byte-stable (the PR 8 `banks=` pattern).
+ */
+
+#ifndef COOPSIM_SAMPLING_SAMPLING_HPP
+#define COOPSIM_SAMPLING_SAMPLING_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace coopsim::sampling
+{
+
+/** Which estimator(s) a run uses. Exact is the reference. */
+enum class Mode : std::uint8_t
+{
+    Exact,
+    Set,
+    Op,
+    SetOp,
+};
+
+constexpr bool
+setSampled(Mode mode)
+{
+    return mode == Mode::Set || mode == Mode::SetOp;
+}
+
+constexpr bool
+opSampled(Mode mode)
+{
+    return mode == Mode::Op || mode == Mode::SetOp;
+}
+
+/** Estimator knobs as they travel in RunKey / SystemConfig: 0 means
+ *  "use the estimator default", so exact keys stay canonical. */
+struct Params
+{
+    Mode mode = Mode::Exact;
+    /** 1-in-S set selection; power of two, must divide the set count. */
+    std::uint32_t set_period = 0;
+    /** Number of measurement windows per app. */
+    std::uint32_t op_windows = 0;
+
+    bool operator==(const Params &) const = default;
+};
+
+/** Default 1/8 of sets: coarser than UMON's 1/32 because the main
+ *  simulation, unlike the ATD, feeds partitioning decisions. */
+inline constexpr std::uint32_t kDefaultSetPeriod = 4;
+/** Default windows per app; with kDetailDivisor this simulates 1/16
+ *  of the measured instructions in 32 detail windows. */
+inline constexpr std::uint32_t kDefaultOpWindows = 32;
+/** Detail fraction of each window period (1/16, SMARTS-like). */
+inline constexpr std::uint64_t kDetailDivisor = 16;
+
+/** z for the ~95% confidence level the CIs report. */
+inline constexpr double kCiZ = 1.96;
+/**
+ * Relative bias allowances added to the statistical CI: systematic
+ * error the window variance cannot see. Both scale with how starved
+ * the estimator is:
+ *
+ *  - Set sampling's error is partitioning noise from deciding with
+ *    1/S of the sets; it grows as the sampled array shrinks, so the
+ *    allowance scales with sqrt(kSetRefSets / sampled_sets).
+ *  - Op sampling's error is contention transient and in-flight stall
+ *    debt at window boundaries; it grows as detail windows shrink
+ *    toward the memory latency, so the allowance scales with
+ *    sqrt(kOpRefDetailCycles / detail_cycles).
+ *
+ * The base constants are calibrated so every cell of the differential
+ * suite in tests/test_sampling.cpp stays inside its reported CI with
+ * margin.
+ */
+inline constexpr double kSetBiasRel = 0.06;
+inline constexpr double kSetRefSets = 1024.0;
+inline constexpr double kOpBiasRel = 0.12;
+inline constexpr double kOpRefDetailCycles = 16384.0;
+
+/**
+ * Relative systematic allowance for a run's estimator configuration.
+ *
+ * @param set_period    1 = set sampling off.
+ * @param fast_forward  True when op sampling skipped instructions.
+ * @param sampled_sets  Sets the inner array actually modelled.
+ * @param detail_cycles Length of one detail window in cycles.
+ */
+inline double
+biasAllowance(std::uint32_t set_period, bool fast_forward,
+              double sampled_sets, double detail_cycles)
+{
+    double rel = 0.0;
+    if (set_period > 1 && sampled_sets > 0.0) {
+        rel += kSetBiasRel * std::sqrt(kSetRefSets / sampled_sets);
+    }
+    if (fast_forward && detail_cycles > 0.0) {
+        rel += kOpBiasRel * std::sqrt(kOpRefDetailCycles / detail_cycles);
+    }
+    return rel;
+}
+
+/** Params with defaults filled in, ready for System to act on. */
+struct Resolved
+{
+    /** 1 = set sampling off. */
+    std::uint32_t set_period = 1;
+    /** 0 = no measurement windows (exact). */
+    std::uint32_t windows = 0;
+    /** Whether windows alternate with fast-forward gaps. */
+    bool fast_forward = false;
+};
+
+inline Resolved
+resolve(const Params &p)
+{
+    Resolved r;
+    if (setSampled(p.mode)) {
+        r.set_period = p.set_period != 0 ? p.set_period : kDefaultSetPeriod;
+    }
+    if (p.mode != Mode::Exact) {
+        r.windows = p.op_windows != 0 ? p.op_windows : kDefaultOpWindows;
+    }
+    r.fast_forward = opSampled(p.mode);
+    return r;
+}
+
+} // namespace coopsim::sampling
+
+#endif // COOPSIM_SAMPLING_SAMPLING_HPP

@@ -70,6 +70,9 @@ runConfig(const RunKey &key)
     }
     config.llc.slice_hash = key.slice_hash;
     config.seed = key.seed;
+    config.sampling.mode = key.sampling;
+    config.sampling.set_period = key.set_sample_period;
+    config.sampling.op_windows = key.op_sample_windows;
     return config;
 }
 
@@ -102,6 +105,9 @@ RunKeyHash::operator()(const RunKey &key) const
     h = mix(h, key.seed);
     h = mix(h, key.banks);
     h = mix(h, static_cast<std::uint64_t>(key.slice_hash));
+    h = mix(h, static_cast<std::uint64_t>(key.sampling));
+    h = mix(h, key.set_sample_period);
+    h = mix(h, key.op_sample_windows);
     return static_cast<std::size_t>(h);
 }
 

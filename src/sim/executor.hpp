@@ -94,6 +94,16 @@ struct RunKey
     /** Slice-selection hash (only consulted when the LLC is banked,
      *  or forced over one bank by the Xor kind). */
     llc::SliceHashKind slice_hash = llc::SliceHashKind::Mod;
+    /** Statistical sampling estimator; Exact is the reference and is
+     *  omitted from formatted key lines so pre-sampling lines stay
+     *  byte-stable. */
+    sampling::Mode sampling = sampling::Mode::Exact;
+    /** 1-in-S set selection (0 = estimator default; ignored unless
+     *  the mode set-samples). */
+    std::uint32_t set_sample_period = 0;
+    /** Measurement windows per app (0 = estimator default; ignored
+     *  when the mode is Exact). */
+    std::uint32_t op_sample_windows = 0;
 
     bool operator==(const RunKey &) const = default;
 };

@@ -5,8 +5,11 @@
 #include <numeric>
 #include <optional>
 
+#include <cmath>
+
 #include "api/registry.hpp"
 #include "common/logging.hpp"
+#include "sampling/set_sampled.hpp"
 #include "sim/min_clock_tree.hpp"
 
 namespace coopsim::sim
@@ -133,8 +136,20 @@ System::System(const SystemConfig &config,
     llc::LlcConfig lc = config_.llc;
     lc.num_cores = config_.num_cores;
     lc.seed = config_.seed;
-    llc_ = api::makeLlcByName(config_.scheme, lc, dram_);
+    sampling_ = sampling::resolve(config_.sampling);
+    if (sampling_.set_period > 1) {
+        llc_ = std::make_unique<sampling::SetSampledLlc>(
+            lc, sampling_.set_period, dram_,
+            [this](const llc::LlcConfig &inner) {
+                return api::makeLlcByName(config_.scheme, inner, dram_);
+            });
+    } else {
+        llc_ = api::makeLlcByName(config_.scheme, lc, dram_);
+    }
 
+    // Stream geometry stays the FULL set count even when the LLC is
+    // set-sampled: the op streams must be byte-identical to the exact
+    // run's so the estimator samples the same workload.
     trace::StreamGeometry sg;
     sg.llc_sets = lc.geometry.numSets();
     sg.block_bytes = lc.geometry.block_bytes;
@@ -176,6 +191,7 @@ System::run()
     const bool batched = config_.driver == DriverMode::Batched;
     constexpr InstCount kNoInstBound =
         std::numeric_limits<InstCount>::max();
+    constexpr Cycle kNoCycleBound = std::numeric_limits<Cycle>::max();
     driver_stats_ = DriverStats{};
 
     // The global-order event loop picks the laggard core before every
@@ -250,7 +266,15 @@ System::run()
     };
 
     // ---- Warm-up: run until every core retired warmup_insts. ------------
-    bool warm = config_.warmup_insts == 0;
+    // A set-sampled run warms a 1/S-capacity array, which fills S×
+    // faster, so warm-up shrinks by the same factor — the argument
+    // applyScale already applies when it miniaturises the set count.
+    const InstCount warmup_insts =
+        sampling_.set_period > 1
+            ? std::max<InstCount>(
+                  1, config_.warmup_insts / sampling_.set_period)
+            : config_.warmup_insts;
+    bool warm = warmup_insts == 0;
     while (!warm) {
         const std::uint32_t c = min_core();
         if (batched) {
@@ -263,18 +287,16 @@ System::run()
             bool others_warm = true;
             for (std::uint32_t o = 0; o < n && others_warm; ++o) {
                 others_warm =
-                    o == c ||
-                    cores_[o]->retired() >= config_.warmup_insts;
+                    o == c || cores_[o]->retired() >= warmup_insts;
             }
             step_quantum(c, quantum_bound(c),
-                         others_warm ? config_.warmup_insts
-                                     : kNoInstBound);
+                         others_warm ? warmup_insts : kNoInstBound);
         } else {
             step(c);
         }
         warm = true;
         for (std::uint32_t o = 0; o < n; ++o) {
-            warm = warm && cores_[o]->retired() >= config_.warmup_insts;
+            warm = warm && cores_[o]->retired() >= warmup_insts;
         }
     }
     Cycle now = 0;
@@ -300,6 +322,90 @@ System::run()
         quota_target[c] = cores_[c]->retired() + config_.insts_per_app;
     }
 
+    // ---- Sampling windows (src/sampling/): when the run samples,
+    // the measurement phase is cut into windows on the GLOBAL clock —
+    // detail regions every core simulates exactly, alternating with
+    // fast-forward gaps every core jumps over analytically (clock
+    // advanced to the next detail region, retired instructions
+    // extrapolated at the closed window's IPC; no ops generated, no
+    // LLC traffic). Anchoring the schedule on shared cycle boundaries
+    // keeps all cores in detail simultaneously, so the contention a
+    // detail window observes (DRAM queueing, shared-LLC interference)
+    // is representative — per-core instruction windows would let one
+    // core measure while its rivals skip, biasing IPC high. Set-only
+    // runs keep ff at 0 and use the windows purely as variance
+    // samples. The window period derives from the warmup CPI (a pure
+    // function of simulated state, so the schedule is deterministic
+    // and identical across driver modes).
+    window_ipc_.assign(n, stats::Average{});
+    detail_insts_.assign(n, 0);
+    sample_windows_ = 0;
+    const bool windows = sampling_.windows > 0;
+    const bool ff_enabled = windows && sampling_.fast_forward;
+    // Epoch-aligned anchor: the window schedule tiles each epoch the
+    // same way, so detail coverage per epoch is uniform.
+    const Cycle anchor =
+        (now / config_.epoch_cycles) * config_.epoch_cycles;
+    Cycle period_cycles = 1;
+    Cycle detail_cycles = 1;
+    std::vector<InstCount> win_start_insts(n, 0);
+    std::vector<Cycle> win_start_cycle(n, 0);
+    std::vector<Cycle> detail_end(n, kNoCycleBound);
+    // Once every core has closed the window ending at gap_boundary,
+    // the shared contention state (DRAM queues, LLC bank ports) is
+    // shifted over the fast-forward gap — see carryBacklog().
+    Cycle gap_boundary = 0;
+    std::uint32_t gap_jumpers = 0;
+    if (windows) {
+        double cpi_est = 0.0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            cpi_est += static_cast<double>(cores_[c]->cycle()) /
+                       static_cast<double>(
+                           std::max<InstCount>(1, cores_[c]->retired()));
+        }
+        cpi_est /= static_cast<double>(n);
+        const double expected_cycles =
+            static_cast<double>(config_.insts_per_app) * cpi_est;
+        // The period is locked to an integer divisor of the epoch so
+        // every partitioning epoch contains the same number of detail
+        // regions: a free-running period lets whole epochs fall into
+        // fast-forward gaps, and an epoch whose UMON counters saw no
+        // traffic reads every app as idle — the takeover logic then
+        // strips ways from exactly the fast apps the estimator is
+        // supposed to measure.
+        const double target_per_epoch =
+            sampling_.windows *
+            static_cast<double>(config_.epoch_cycles) /
+            std::max(1.0, expected_cycles);
+        const Cycle per_epoch = std::max<Cycle>(
+            1, std::min<Cycle>(
+                   config_.epoch_cycles / 16,
+                   static_cast<Cycle>(std::llround(target_per_epoch))));
+        period_cycles =
+            std::max<Cycle>(16, config_.epoch_cycles / per_epoch);
+        detail_cycles =
+            ff_enabled
+                ? std::max<Cycle>(1,
+                                  period_cycles / sampling::kDetailDivisor)
+                : period_cycles;
+        detail_cycles_ = ff_enabled ? detail_cycles : 0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            win_start_insts[c] = cores_[c]->retired();
+            win_start_cycle[c] = cores_[c]->cycle();
+            // First detail end strictly ahead of this core's clock
+            // (a core may start mid-window; the partial stretch to
+            // the next boundary is simulated in detail).
+            const Cycle pos = cores_[c]->cycle() - anchor;
+            Cycle first_end =
+                anchor + (pos / period_cycles) * period_cycles +
+                detail_cycles;
+            if (first_end <= cores_[c]->cycle()) {
+                first_end += period_cycles;
+            }
+            detail_end[c] = first_end;
+        }
+    }
+
     while (done < n) {
         const std::uint32_t c = min_core();
 
@@ -312,16 +418,108 @@ System::run()
         }
 
         if (batched) {
-            step_quantum(c, std::min(quantum_bound(c), next_epoch),
-                         finished[c] ? kNoInstBound : quota_target[c]);
+            const InstCount inst_bound =
+                finished[c] ? kNoInstBound : quota_target[c];
+            Cycle cycle_bound = std::min(quantum_bound(c), next_epoch);
+            if (windows) {
+                cycle_bound = std::min(cycle_bound, detail_end[c]);
+            }
+            step_quantum(c, cycle_bound, inst_bound);
         } else {
             step(c);
+        }
+        if (windows && cores_[c]->cycle() >= detail_end[c]) {
+            const InstCount w_insts =
+                cores_[c]->retired() - win_start_insts[c];
+            const Cycle w_cycles =
+                cores_[c]->cycle() - win_start_cycle[c];
+            detail_insts_[c] += w_insts;
+            if (!finished[c] && w_insts > 0 && w_cycles > 0) {
+                window_ipc_[c].sample(static_cast<double>(w_insts) /
+                                      static_cast<double>(w_cycles));
+                ++sample_windows_;
+            }
+            const double ipc_w =
+                w_cycles > 0 && w_insts > 0
+                    ? static_cast<double>(w_insts) /
+                          static_cast<double>(w_cycles)
+                    : 1.0;
+            if (ff_enabled) {
+                // The boundary this core just crossed. When the last
+                // core closes it, no further access can be issued
+                // before the gap, so the queue backlog pending at the
+                // boundary is carried over to the next detail region
+                // — without this every window starts against drained
+                // queues and measures a transient, biasing IPC high
+                // exactly where contention matters most.
+                const Cycle boundary = detail_end[c];
+                if (boundary != gap_boundary) {
+                    gap_boundary = boundary;
+                    gap_jumpers = 0;
+                }
+                if (++gap_jumpers == n && period_cycles > detail_cycles) {
+                    const Cycle gap = period_cycles - detail_cycles;
+                    dram_.carryBacklog(boundary, gap);
+                    llc_->carryBacklog(boundary, gap);
+                }
+                // Jump the clock to the next detail-region start and
+                // extrapolate the skipped instructions at the closed
+                // window's IPC. A core short of quota caps the
+                // extrapolation so the jump lands exactly on the
+                // quota boundary instead of crossing it (the analytic
+                // mirror of the quantum's instruction bound).
+                const Cycle pos = cores_[c]->cycle() - anchor;
+                const Cycle next_start =
+                    anchor + (pos / period_cycles + 1) * period_cycles;
+                Cycle jump = next_start - cores_[c]->cycle();
+                auto ff_n = static_cast<InstCount>(std::llround(
+                    static_cast<double>(jump) * ipc_w));
+                if (!finished[c] &&
+                    quota_target[c] - cores_[c]->retired() < ff_n) {
+                    ff_n = quota_target[c] - cores_[c]->retired();
+                    jump = std::max<Cycle>(
+                        1, static_cast<Cycle>(std::llround(
+                               static_cast<double>(ff_n) / ipc_w)));
+                }
+                cores_[c]->fastForward(ff_n, jump);
+                clock[c] = cores_[c]->cycle();
+                if (tree) {
+                    tree->update(c, clock[c]);
+                }
+            }
+            // Next detail end strictly ahead of the (possibly jumped)
+            // clock: the containing window's end, or — when the clock
+            // sits in a fast-forward gap (a quota-capped jump) — the
+            // next window's; the gap remainder is then simulated in
+            // detail, which only adds accuracy.
+            const Cycle pos = cores_[c]->cycle() - anchor;
+            Cycle next_end =
+                anchor + (pos / period_cycles) * period_cycles +
+                detail_cycles;
+            if (next_end <= cores_[c]->cycle()) {
+                next_end += period_cycles;
+            }
+            detail_end[c] = next_end;
+            win_start_insts[c] = cores_[c]->retired();
+            win_start_cycle[c] = cores_[c]->cycle();
         }
         if (!finished[c] &&
             cores_[c]->measuredInsts() >= config_.insts_per_app) {
             cores_[c]->markQuotaReached();
             finished[c] = true;
             ++done;
+        }
+    }
+
+    // Account the final partial detail windows so collect()'s op
+    // scale factors cover every simulated instruction, and record the
+    // phase totals (quota + post-quota) those factors divide.
+    if (windows) {
+        phase_insts_.assign(n, 0);
+        for (std::uint32_t c = 0; c < n; ++c) {
+            detail_insts_[c] += cores_[c]->retired() - win_start_insts[c];
+            phase_insts_[c] = cores_[c]->retired() -
+                              (quota_target[c] - config_.insts_per_app);
         }
     }
 
@@ -340,6 +538,47 @@ System::collect()
     llc_->integrateStatic(end);
     result.total_cycles = end;
 
+    // ---- Sampling scale-up (src/sampling/sampling.hpp): a set-
+    // sampled LLC saw 1/S of the traffic, an op-sampled run simulated
+    // only the detail fraction of each window, so counters scale by S
+    // and by measured/detail instructions respectively. Means and
+    // decision counts (avg ways probed, transfer length, epochs,
+    // repartitions) are left alone. Exact runs take every factor = 1.
+    const double set_scale =
+        sampling_.set_period > 1
+            ? static_cast<double>(sampling_.set_period)
+            : 1.0;
+    std::vector<double> op_scale(n, 1.0);
+    double op_scale_total = 1.0;
+    if (sampling_.windows > 0) {
+        std::uint64_t measured_total = 0;
+        std::uint64_t detail_total = 0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            const std::uint64_t phase = phase_insts_[c];
+            if (detail_insts_[c] > 0 && phase > 0) {
+                op_scale[c] = static_cast<double>(phase) /
+                              static_cast<double>(detail_insts_[c]);
+            }
+            measured_total += phase;
+            detail_total += detail_insts_[c];
+        }
+        if (detail_total > 0) {
+            op_scale_total = static_cast<double>(measured_total) /
+                             static_cast<double>(detail_total);
+        }
+    }
+    const double run_scale = set_scale * op_scale_total;
+    const auto scaled = [](std::uint64_t v, double f) {
+        return f == 1.0 ? v
+                        : static_cast<std::uint64_t>(std::llround(
+                              static_cast<double>(v) * f));
+    };
+    const double bias_rel = sampling::biasAllowance(
+        sampling_.set_period, sampling_.fast_forward,
+        static_cast<double>(config_.llc.geometry.numSets()) /
+            static_cast<double>(sampling_.set_period),
+        static_cast<double>(detail_cycles_));
+
     for (std::uint32_t c = 0; c < n; ++c) {
         AppResult app;
         app.name = profiles_[c].name;
@@ -347,27 +586,39 @@ System::collect()
         app.insts = cores_[c]->measuredInsts();
         app.cycles = cores_[c]->measuredCycles();
         const auto &cs = llc_->coreStats(c);
-        app.llc_accesses = cs.accesses.value();
-        app.llc_hits = cs.hits.value();
-        app.llc_misses = cs.misses.value();
+        const double app_scale = set_scale * op_scale[c];
+        app.llc_accesses = scaled(cs.accesses.value(), app_scale);
+        app.llc_hits = scaled(cs.hits.value(), app_scale);
+        app.llc_misses = scaled(cs.misses.value(), app_scale);
         app.mpki = app.insts > 0
                        ? 1000.0 * static_cast<double>(app.llc_misses) /
                              static_cast<double>(app.insts)
                        : 0.0;
+        if (sampling_.windows > 0) {
+            app.ipc_ci = sampling::kCiZ * window_ipc_[c].stdError() +
+                         bias_rel * app.ipc;
+        }
         result.apps.push_back(std::move(app));
     }
+    result.sample_windows = sample_windows_;
 
+    // Access-driven totals scale by the full run factor; capacity-
+    // driven flush totals scale by the set factor only (a 1/S array
+    // holds 1/S of the lines a repartition can flush, and op sampling
+    // does not shrink the array). Static energy scales by S alone:
+    // the 1/S array leaks 1/S as much over the same wall-cycles.
     const energy::EnergyTotals totals = llc_->energyTotals();
-    result.dynamic_energy_nj = totals.dynamicPaper();
-    result.data_energy_nj = totals.data_nj;
-    result.static_energy_nj = totals.static_nj;
+    result.dynamic_energy_nj = totals.dynamicPaper() * run_scale;
+    result.data_energy_nj = totals.data_nj * run_scale;
+    result.static_energy_nj = totals.static_nj * set_scale;
     result.avg_ways_probed = llc_->avgWaysProbed();
 
     const auto &ev = llc_->takeoverEvents();
-    result.donor_hits = ev.donor_hits.value();
-    result.donor_misses = ev.donor_misses.value();
-    result.recipient_hits = ev.recipient_hits.value();
-    result.recipient_misses = ev.recipient_misses.value();
+    result.donor_hits = scaled(ev.donor_hits.value(), run_scale);
+    result.donor_misses = scaled(ev.donor_misses.value(), run_scale);
+    result.recipient_hits = scaled(ev.recipient_hits.value(), run_scale);
+    result.recipient_misses =
+        scaled(ev.recipient_misses.value(), run_scale);
 
     const auto &durations = llc_->transferDurations();
     result.completed_transfers = durations.size();
@@ -379,22 +630,34 @@ System::collect()
         result.avg_transfer_cycles =
             sum / static_cast<double>(durations.size());
     }
-    result.flushed_lines = llc_->flushedLines();
+    result.flushed_lines = scaled(llc_->flushedLines(), set_scale);
     result.repartitions = llc_->repartitions();
     result.epochs = llc_->epochsRun();
 
     const auto &series = llc_->flushSeries();
     result.flush_series_bin = series.binWidth();
     for (std::size_t b = 0; b < series.bins(); ++b) {
-        result.flush_series.push_back(series.bin(b));
+        result.flush_series.push_back(scaled(series.bin(b), set_scale));
     }
 
-    result.dram_reads = dram_.stats().reads.value();
-    result.dram_writebacks = dram_.stats().writebacks.value();
-    result.dram_flushes = dram_.stats().flushes.value();
+    // DRAM read/writeback counts are already at the full set rate even
+    // under set sampling (the decorator replays unsampled misses and
+    // writebacks into the memory model), so they scale by the op
+    // factor alone. Flushes come only from the inner 1/S array.
+    result.dram_reads =
+        scaled(dram_.stats().reads.value(), op_scale_total);
+    result.dram_writebacks =
+        scaled(dram_.stats().writebacks.value(), op_scale_total);
+    result.dram_flushes =
+        scaled(dram_.stats().flushes.value(), set_scale);
 
-    result.bank_conflicts = llc_->bankConflicts();
-    result.bank_conflict_cycles = llc_->bankConflictCycles();
+    // Like the DRAM counters, port conflicts see the full-rate stream
+    // under set sampling (every access claims its bank port), so the
+    // op factor is the only scale-up they need.
+    result.bank_conflicts =
+        scaled(llc_->bankConflicts(), op_scale_total);
+    result.bank_conflict_cycles =
+        scaled(llc_->bankConflictCycles(), op_scale_total);
     return result;
 }
 

@@ -17,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/trace_core.hpp"
 #include "llc/schemes.hpp"
 #include "mem/dram.hpp"
+#include "sampling/sampling.hpp"
 #include "trace/generator.hpp"
 
 namespace coopsim::sim
@@ -99,6 +101,13 @@ struct SystemConfig
      * hold it to that), so RunKey carries no stream field.
      */
     StreamFactory stream_factory;
+    /**
+     * Statistical sampling estimator (src/sampling/). Unlike `driver`
+     * this IS part of the simulation identity — sampled results are
+     * estimates with a confidence interval, not bit-reproductions of
+     * the exact run — so RunKey carries the mode and both knobs.
+     */
+    sampling::Params sampling;
 };
 
 /**
@@ -148,6 +157,9 @@ struct AppResult
     std::uint64_t llc_misses = 0;
     /** LLC misses per kilo-instruction over the measured window. */
     double mpki = 0.0;
+    /** Half-width of the ~95% confidence interval on ipc (0 for an
+     *  exact run: the value is not an estimate). */
+    double ipc_ci = 0.0;
 };
 
 /** Whole-run results. */
@@ -186,6 +198,10 @@ struct RunResult
     // Bank contention (banked LLC only; zero for monolithic runs).
     std::uint64_t bank_conflicts = 0;
     std::uint64_t bank_conflict_cycles = 0;
+
+    // Statistical sampling (zero for exact runs): total measurement
+    // windows the per-app CIs were computed from.
+    std::uint64_t sample_windows = 0;
 };
 
 /**
@@ -247,6 +263,22 @@ class System
     std::vector<std::unique_ptr<core::OpStream>> streams_;
     std::vector<std::unique_ptr<core::TraceCore>> cores_;
     DriverStats driver_stats_;
+
+    // Sampling state (see src/sampling/sampling.hpp). sampling_ is the
+    // resolved estimator configuration; the vectors accumulate per-core
+    // measurement-phase detail instructions and per-window IPC samples
+    // that collect() turns into scale factors and confidence intervals.
+    sampling::Resolved sampling_;
+    std::vector<stats::Average> window_ipc_;
+    std::vector<InstCount> detail_insts_;
+    /** Instructions retired per core over the whole measurement phase
+     *  (including post-quota contention), the numerator of the op
+     *  scale factor. */
+    std::vector<InstCount> phase_insts_;
+    std::uint64_t sample_windows_ = 0;
+    /** Detail-window length in cycles (0 when not fast-forwarding);
+     *  feeds the scale-aware bias allowance in collect(). */
+    Cycle detail_cycles_ = 0;
 };
 
 } // namespace coopsim::sim

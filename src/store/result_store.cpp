@@ -190,6 +190,18 @@ formatResult(const sim::RunResult &result)
     }
     field("bank_conflicts", u(result.bank_conflicts));
     field("bank_conflict_cycles", u(result.bank_conflict_cycles));
+    // Sampling fields are appended only for sampled runs, so every
+    // exact result line stays byte-identical to the pre-sampling
+    // encoding (same contract as the bank pair above).
+    if (result.sample_windows > 0) {
+        field("samp_windows", u(result.sample_windows));
+        std::string cis;
+        for (const sim::AppResult &app : result.apps) {
+            cis += cis.empty() ? "" : ";";
+            cis += fmtDouble(app.ipc_ci);
+        }
+        field("samp_ci", cis);
+    }
     return out;
 }
 
@@ -284,6 +296,23 @@ tryParseResult(const std::string &text, sim::RunResult &out)
             !takeU("bank_conflict_cycles",
                    result.bank_conflict_cycles)) {
             return false;
+        }
+    }
+    // Sampling fields: a second optional trailing group, nested after
+    // the bank pair, so both pre-banking and pre-sampling lines load.
+    if (i < words.size()) {
+        if (!takeU("samp_windows", result.sample_windows) ||
+            result.sample_windows == 0 || !next("samp_ci")) {
+            return false;
+        }
+        const std::vector<std::string> cis = splitOn(value, ';');
+        if (cis.size() != result.apps.size()) {
+            return false;
+        }
+        for (std::size_t a = 0; a < cis.size(); ++a) {
+            if (!tryParseDouble(cis[a], result.apps[a].ipc_ci)) {
+                return false;
+            }
         }
     }
     if (i != words.size()) {
