@@ -57,6 +57,7 @@
 #include "common/rng.hpp"
 #include "llc/slice_hash.hpp"
 #include "sim/min_clock_tree.hpp"
+#include "sim/stream_cache.hpp"
 #include "sim/system.hpp"
 #include "store/result_store.hpp"
 #include "trace/generator.hpp"
@@ -713,6 +714,110 @@ benchReplayCost(std::uint64_t &checksum)
 }
 
 // ---------------------------------------------------------------------------
+// Stream-memo cost (sim::StreamCache)
+
+struct MemoCost
+{
+    /** Whole-loop ns/op of the first (generating) and second
+     *  (replaying) pass through one memoized stream. */
+    double cold_loop_ns = 0.0;
+    double warm_loop_ns = 0.0;
+    /** Consumption from pre-decoded memory, the non-production part. */
+    double baseline_ns = 0.0;
+
+    double coldNs() const { return cold_loop_ns - baseline_ns; }
+    double warmNs() const { return warm_loop_ns - baseline_ns; }
+};
+
+/**
+ * The per-op cost of the stream memo's two paths: the first open of a
+ * key generates and encodes each segment on demand before decoding it
+ * (stream_memo_cold_ns — generation plus the one-time encode tax),
+ * and every later open replays the in-memory frames through the same
+ * FrameDecoder TraceFileStream uses (stream_memo_warm_ns). The warm
+ * path is the one every repeated run in a sweep pays, so main()
+ * asserts it stays within 2x of replay_step_ns — memo replay must not
+ * be meaningfully slower than file replay. The three checksums (cold,
+ * warm, plain SyntheticStream) must agree: the memo is a transparent
+ * cache, not a different stream.
+ */
+MemoCost
+benchStreamMemo(std::uint64_t &checksum)
+{
+    constexpr std::uint64_t kOps = 1u << 20;
+    const trace::AppProfile &profile = trace::specProfile("gobmk");
+    const trace::StreamGeometry geometry{512, 64};
+
+    sim::StreamCache &cache = sim::StreamCache::instance();
+    sim::StreamCache::Key key;
+    key.workload = "BENCH_memo.gobmk";
+    key.slot = 0;
+    key.seed = 42;
+    key.scale = "bench";
+    key.num_cores = 1;
+
+    const auto consume = [](const core::MemOp &op) {
+        return op.addr + op.gap_insts +
+               (op.type == AccessType::Write ? 1u : 0u);
+    };
+
+    MemoCost times;
+    std::uint64_t cold_sum = 0;
+    {
+        auto stream = cache.open(key, profile, geometry, key.seed);
+        core::MemOp buffer[64];
+        const auto t0 = Clock::now();
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            stream->nextBatch(buffer, 64);
+            for (const core::MemOp &op : buffer) {
+                cold_sum += consume(op);
+            }
+        }
+        times.cold_loop_ns =
+            seconds(t0, Clock::now()) * 1e9 / static_cast<double>(kOps);
+    }
+    std::uint64_t warm_sum = 0;
+    {
+        auto stream = cache.open(key, profile, geometry, key.seed);
+        core::MemOp buffer[64];
+        const auto t0 = Clock::now();
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            stream->nextBatch(buffer, 64);
+            for (const core::MemOp &op : buffer) {
+                warm_sum += consume(op);
+            }
+        }
+        times.warm_loop_ns =
+            seconds(t0, Clock::now()) * 1e9 / static_cast<double>(kOps);
+    }
+    std::uint64_t plain_sum = 0;
+    {
+        trace::SyntheticStream stream(profile, geometry, 0, key.seed);
+        std::vector<core::MemOp> decoded(kOps);
+        for (std::uint64_t n = 0; n < kOps; n += 64) {
+            stream.nextBatch(decoded.data() + n, 64);
+        }
+        const auto t0 = Clock::now();
+        for (const core::MemOp &op : decoded) {
+            plain_sum += consume(op);
+        }
+        times.baseline_ns =
+            seconds(t0, Clock::now()) * 1e9 / static_cast<double>(kOps);
+    }
+    if (cold_sum != warm_sum || cold_sum != plain_sum) {
+        std::fprintf(stderr,
+                     "FATAL: memo cold/warm/plain op streams diverged "
+                     "(checksums %llu / %llu / %llu)\n",
+                     static_cast<unsigned long long>(cold_sum),
+                     static_cast<unsigned long long>(warm_sum),
+                     static_cast<unsigned long long>(plain_sum));
+        std::exit(1);
+    }
+    checksum += cold_sum;
+    return times;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end reference run (both driver modes)
 
 struct SingleRun
@@ -875,11 +980,32 @@ figSweepKeys(const std::string &scale)
 struct SweepTimes
 {
     std::size_t runs = 0;
+    /** Serial with the stream memo disabled: every run regenerates
+     *  every stream, the pre-memo cost. */
+    double no_memo_s = 0.0;
+    /** Serial with a cold memo: distinct streams generated once,
+     *  everything else replayed. */
     double serial_s = 0.0;
+    /** Serial with every stream already memoized — the steady state
+     *  every repeated sweep (new scheme, another threshold, a
+     *  --trace-cache warm start) runs in. */
+    double warm_s = 0.0;
     double parallel_s = 0.0;
+
+    /** The sweep-level win of stream memoization: pre-memo cost vs
+     *  the replay-everything steady state. */
+    double memoSpeedup() const
+    {
+        return warm_s > 0.0 ? no_memo_s / warm_s : 0.0;
+    }
 };
 
-/** Serial (one thread, no pool) vs RunExecutor on the full key set. */
+/**
+ * Serial with the memo off, serial with a cold memo, serial again
+ * with the memo warm, and the parallel RunExecutor, all on the full
+ * key set. The four cycle totals must agree — memoized, regenerated
+ * and pool-scheduled runs are the same simulations.
+ */
 SweepTimes
 benchExecutorSweep(const std::string &scale, std::uint64_t &checksum)
 {
@@ -887,13 +1013,34 @@ benchExecutorSweep(const std::string &scale, std::uint64_t &checksum)
     SweepTimes times;
     times.runs = keys.size();
 
+    std::uint64_t no_memo_sum = 0;
+    {
+        sim::StreamCache::instance().configure({false, 0, ""});
+        const auto t0 = Clock::now();
+        for (const sim::RunKey &key : keys) {
+            no_memo_sum += sim::executeRun(key).total_cycles;
+        }
+        times.no_memo_s = seconds(t0, Clock::now());
+    }
+
     std::uint64_t serial_sum = 0;
     {
+        sim::StreamCache::instance().configure({});
+        sim::StreamCache::instance().clear();
         const auto t0 = Clock::now();
         for (const sim::RunKey &key : keys) {
             serial_sum += sim::executeRun(key).total_cycles;
         }
         times.serial_s = seconds(t0, Clock::now());
+    }
+
+    std::uint64_t warm_sum = 0;
+    {
+        const auto t0 = Clock::now();
+        for (const sim::RunKey &key : keys) {
+            warm_sum += sim::executeRun(key).total_cycles;
+        }
+        times.warm_s = seconds(t0, Clock::now());
     }
 
     std::uint64_t parallel_sum = 0;
@@ -908,11 +1055,14 @@ benchExecutorSweep(const std::string &scale, std::uint64_t &checksum)
         times.parallel_s = seconds(t0, Clock::now());
     }
 
-    if (serial_sum != parallel_sum) {
+    if (serial_sum != parallel_sum || serial_sum != no_memo_sum ||
+        serial_sum != warm_sum) {
         std::fprintf(stderr,
-                     "FATAL: serial/parallel cycle totals differ "
-                     "(%llu vs %llu)\n",
+                     "FATAL: no-memo/serial/warm/parallel cycle totals "
+                     "differ (%llu / %llu / %llu / %llu)\n",
+                     static_cast<unsigned long long>(no_memo_sum),
                      static_cast<unsigned long long>(serial_sum),
+                     static_cast<unsigned long long>(warm_sum),
                      static_cast<unsigned long long>(parallel_sum));
         std::exit(1);
     }
@@ -982,6 +1132,21 @@ main(int argc, char **argv)
     std::printf("op production (generate)   %8.2f ns/op\n",
                 replay.generateNs());
 
+    const MemoCost memo = benchStreamMemo(checksum);
+    std::printf("stream memo (cold)         %8.2f ns/op "
+                "(generate + encode, loop %.2f - baseline %.2f)\n",
+                memo.coldNs(), memo.cold_loop_ns, memo.baseline_ns);
+    std::printf("stream memo (warm)         %8.2f ns/op "
+                "(must stay within 2x replay %.2f)\n",
+                memo.warmNs(), replay.replayNs());
+    if (memo.warmNs() > 2.0 * replay.replayNs()) {
+        std::fprintf(stderr,
+                     "FATAL: warm memo replay %.2f ns/op exceeds 2x "
+                     "trace-file replay %.2f ns/op\n",
+                     memo.warmNs(), replay.replayNs());
+        std::exit(1);
+    }
+
     const SingleRun single = benchSingleRun(checksum);
     std::printf("single run coop/G4-1 bench: batched %.3fs, per-op "
                 "%.3fs, %llu steps, quantum avg %.2f ops "
@@ -1015,10 +1180,12 @@ main(int argc, char **argv)
             ? "parallel executor expected to beat the serial sweep"
             : "1 worker core: serial and executor sweeps are "
               "equivalent, speedup ~1.0 expected";
-    std::printf("fig05-16 sweep: %zu runs, serial %.2fs, "
-                "executor(%u threads) %.2fs, speedup %.2fx "
-                "(expected >= %.2f; %s)\n",
-                sweep.runs, sweep.serial_s,
+    std::printf("fig05-16 sweep: %zu runs, no-memo %.2fs, cold-memo "
+                "%.2fs, warm-memo %.2fs (memo %.2fx), executor(%u "
+                "threads) %.2fs, speedup %.2fx (expected >= %.2f; "
+                "%s)\n",
+                sweep.runs, sweep.no_memo_s, sweep.serial_s,
+                sweep.warm_s, sweep.memoSpeedup(),
                 sim::RunExecutor::instance().threads(), sweep.parallel_s,
                 speedup, sweep_expected_min, sweep_note);
     std::printf("# checksum %llu\n",
@@ -1046,6 +1213,8 @@ main(int argc, char **argv)
             "  \"run_step_baseline_ns\": %.3f,\n"
             "  \"replay_step_ns\": %.3f,\n"
             "  \"generate_step_ns\": %.3f,\n"
+            "  \"stream_memo_cold_ns\": %.3f,\n"
+            "  \"stream_memo_warm_ns\": %.3f,\n"
             "  \"single_run_s\": %.3f,\n"
             "  \"single_run_perop_s\": %.3f,\n"
             "  \"single_run_steps\": %llu,\n"
@@ -1053,6 +1222,9 @@ main(int argc, char **argv)
             "  \"sampled_run_s\": %.3f,\n"
             "  \"sampling_speedup\": %.3f,\n"
             "  \"sweep_runs\": %zu,\n"
+            "  \"sweep_no_memo_s\": %.3f,\n"
+            "  \"sweep_memo_warm_s\": %.3f,\n"
+            "  \"sweep_memo_speedup\": %.3f,\n"
             "  \"sweep_serial_s\": %.3f,\n"
             "  \"sweep_parallel_s\": %.3f,\n"
             "  \"sweep_speedup\": %.3f,\n"
@@ -1066,10 +1238,12 @@ main(int argc, char **argv)
             slice.mod_ns, slice.xor_ns, slice.banked_lookup_ns,
             umon_ns, driver.batchedNs(), driver.peropNs(),
             driver.baseline_ns, replay.replayNs(), replay.generateNs(),
+            memo.coldNs(), memo.warmNs(),
             single.batched_s, single.perop_s,
             static_cast<unsigned long long>(single.steps),
             single.quantum_avg_ops, sampled_run_s, sampling_speedup,
-            sweep.runs, sweep.serial_s,
+            sweep.runs, sweep.no_memo_s, sweep.warm_s,
+            sweep.memoSpeedup(), sweep.serial_s,
             sweep.parallel_s, speedup, sweep_expected_min, sweep_note);
         std::fclose(json);
         std::printf("# wrote BENCH_hotpath.json\n");

@@ -71,15 +71,22 @@ constexpr const char *kUsage =
     "                    [--shard-retries=K]]\n"
     "                   [--record=DIR] [--trace-dir=DIR]\n"
     "                   [--sampling=exact|set|op|setop] [--ci]\n"
+    "                   [--no-stream-memo] [--stream-cache-mb=N]\n"
+    "                   [--trace-cache=DIR]\n"
     "with --spec, only --scale/--threads/--seed/--store/--shard/"
     "--merge/\n--supervise/--shards/--shard-timeout/--shard-retries/"
-    "--record/\n--trace-dir/--sampling/--ci may also be given (the "
+    "--record/\n--trace-dir/--sampling/--ci/--no-stream-memo/"
+    "--stream-cache-mb/\n--trace-cache may also be given (the "
     "first three and\n--sampling override the spec file).\n"
     "--shard, --merge and --supervise require --spec and --store.\n"
     "--record=DIR captures the spec's workloads as .cooptrace files\n"
     "into DIR instead of running the experiment; --trace-dir=DIR (or\n"
     "COOPSIM_TRACE_DIR) registers DIR's recordings as trace:<name>\n"
-    "workloads for replay.\n";
+    "workloads for replay.\n"
+    "Sweeps memoize op streams process-wide (generate once, replay\n"
+    "everywhere); --no-stream-memo regenerates per run,\n"
+    "--stream-cache-mb=N bounds the memo, --trace-cache=DIR persists\n"
+    "it across processes (e.g. supervised shard workers).\n";
 
 /** 1-based attempt number of this worker process (COOPSIM_ATTEMPT,
  *  exported by the supervisor; 1 when run by hand). */
@@ -156,6 +163,19 @@ runSupervised(const char *binary, const api::CliOptions &cli,
             // Same rule: workers must expand the same sampled key
             // list the parent validates shard stores against.
             args.push_back("--sampling=" + cli.sampling_name);
+        }
+        if (cli.no_stream_memo) {
+            args.push_back("--no-stream-memo");
+        }
+        if (cli.stream_cache_mb > 0) {
+            args.push_back("--stream-cache-mb=" +
+                           std::to_string(cli.stream_cache_mb));
+        }
+        if (!cli.trace_cache_dir.empty()) {
+            // Each worker warm-starts shared streams from the cache
+            // directory instead of regenerating them per process; the
+            // first worker to finish a stream spills it for the rest.
+            args.push_back("--trace-cache=" + cli.trace_cache_dir);
         }
         const std::vector<std::string> env = {
             std::string(supervise::kAttemptEnv) + "=" +
@@ -268,7 +288,8 @@ main(int argc, char **argv)
                                 api::kFlagStore | api::kFlagShard |
                                 api::kFlagMerge | api::kFlagSupervise |
                                 api::kFlagRecord | api::kFlagTraceDir |
-                                api::kFlagSampling | api::kFlagCi,
+                                api::kFlagSampling | api::kFlagCi |
+                                api::kFlagStreamMemo,
                             kUsage);
     } else if (cli.shard_set || cli.merge || cli.supervise ||
                cli.shards > 0) {
@@ -278,6 +299,7 @@ main(int argc, char **argv)
         COOPSIM_FATAL("--record requires --spec=FILE (it records the "
                       "spec's workloads)");
     }
+    api::applyCliStreamMemo(cli);
     const unsigned threads = api::applyCliThreads(cli);
     if (!cli.trace_dir.empty()) {
         tracefile::registerTraceDir(cli.trace_dir);

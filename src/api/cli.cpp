@@ -8,6 +8,7 @@
 #include "api/registry.hpp"
 #include "common/logging.hpp"
 #include "sim/executor.hpp"
+#include "sim/stream_cache.hpp"
 #include "store/result_store.hpp"
 
 namespace coopsim::api
@@ -161,6 +162,23 @@ parseCli(int argc, char **argv, unsigned allowed, const char *usage,
         } else if ((allowed & kFlagCi) &&
                    std::strcmp(arg, "--ci") == 0) {
             options.show_ci = true;
+        } else if ((allowed & kFlagStreamMemo) &&
+                   std::strcmp(arg, "--no-stream-memo") == 0) {
+            options.no_stream_memo = true;
+        } else if ((allowed & kFlagStreamMemo) &&
+                   takeValue(arg, "--stream-cache-mb=", value)) {
+            const std::uint64_t n = parseUint(value, "--stream-cache-mb");
+            if (n < 1 || n > 1048576) {
+                COOPSIM_FATAL("invalid --stream-cache-mb value '", value,
+                              "' (expected MiB in [1, 1048576])");
+            }
+            options.stream_cache_mb = static_cast<unsigned>(n);
+        } else if ((allowed & kFlagStreamMemo) &&
+                   takeValue(arg, "--trace-cache=", value)) {
+            if (value.empty()) {
+                COOPSIM_FATAL("--trace-cache requires a directory path");
+            }
+            options.trace_cache_dir = value;
         } else if ((allowed & kFlagSupervise) &&
                    takeValue(arg, "--shard-retries=", value)) {
             const std::uint64_t n = parseUint(value, "--shard-retries");
@@ -189,6 +207,23 @@ applyCliThreads(const CliOptions &options)
         executor.setThreads(options.threads); // no-op if already sized
     }
     return executor.threads();
+}
+
+void
+applyCliStreamMemo(const CliOptions &options)
+{
+    if (options.no_stream_memo &&
+        (options.stream_cache_mb > 0 || !options.trace_cache_dir.empty())) {
+        COOPSIM_FATAL("--no-stream-memo disables the stream memo; it "
+                      "cannot be combined with --stream-cache-mb or "
+                      "--trace-cache");
+    }
+    sim::StreamCache::Config config;
+    config.enabled = !options.no_stream_memo;
+    config.budget_bytes =
+        static_cast<std::size_t>(options.stream_cache_mb) << 20;
+    config.spill_dir = options.trace_cache_dir;
+    sim::StreamCache::instance().configure(config);
 }
 
 void
@@ -259,6 +294,8 @@ printRunStats()
         std::fprintf(stderr, "# runs: failed=%llu\n",
                      static_cast<unsigned long long>(stats.failed_runs));
     }
+    // Idempotent: the cache's own exit hook prints nothing after this.
+    sim::StreamCache::instance().printStats(stderr);
 }
 
 void
@@ -305,7 +342,9 @@ benchSetup(int argc, char **argv, unsigned allowed)
     const CliOptions options = parseCli(
         argc, argv, allowed,
         "usage: bench [--scale=test|bench|paper] [--full] "
-        "[--threads=N] [--store=DIR]\n");
+        "[--threads=N] [--store=DIR] [--no-stream-memo] "
+        "[--stream-cache-mb=N] [--trace-cache=DIR]\n");
+    applyCliStreamMemo(options);
     printPreamble(options, applyCliThreads(options));
     attachCliStore(options);
     return options;

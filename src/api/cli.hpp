@@ -51,17 +51,20 @@ enum CliFlag : unsigned
     kFlagTraceDir = 1u << 14,  //!< --trace-dir=DIR (trace: workloads)
     kFlagSampling = 1u << 15,  //!< --sampling=exact|set|op|setop
     kFlagCi = 1u << 16,        //!< --ci (print value±ci table cells)
+    /** --no-stream-memo, --stream-cache-mb=N, --trace-cache=DIR (the
+     *  process-wide op-stream memo, sim::StreamCache). */
+    kFlagStreamMemo = 1u << 17,
 };
 
-/** The fig/table benches: scale + threads + result store. */
+/** The fig/table benches: scale + threads + result store + memo. */
 inline constexpr unsigned kBenchFlags =
-    kFlagScale | kFlagThreads | kFlagStore;
+    kFlagScale | kFlagThreads | kFlagStore | kFlagStreamMemo;
 /** Examples taking a positional group name. */
 inline constexpr unsigned kExampleFlags =
     kBenchFlags | kFlagPositional;
 /** Everything (coopsim_cli); derived from the last enumerator so a
  *  new flag is included automatically. */
-inline constexpr unsigned kAllFlags = (kFlagCi << 1) - 1;
+inline constexpr unsigned kAllFlags = (kFlagStreamMemo << 1) - 1;
 
 /** Parsed command line. */
 struct CliOptions
@@ -112,6 +115,15 @@ struct CliOptions
     bool sampling_set = false;
     /** --ci: render normalised table cells as value±ci. */
     bool show_ci = false;
+    /** --no-stream-memo: regenerate every run's streams (escape
+     *  hatch; memoized and regenerated runs are bit-identical). */
+    bool no_stream_memo = false;
+    /** --stream-cache-mb=N: memo budget in MiB; 0 = topology default
+     *  (StreamCache::defaultBudgetBytes). */
+    unsigned stream_cache_mb = 0;
+    /** --trace-cache=DIR: spill memoized streams to `.cooptrace`
+     *  files in DIR at exit and warm-start from them; empty = off. */
+    std::string trace_cache_dir;
     std::vector<std::string> positional;
 };
 
@@ -133,6 +145,14 @@ CliOptions parseCli(int argc, char **argv, unsigned allowed,
  * returns its final worker count.
  */
 unsigned applyCliThreads(const CliOptions &options);
+
+/**
+ * Applies the parsed stream-memo request (--no-stream-memo,
+ * --stream-cache-mb, --trace-cache) to the process-wide
+ * sim::StreamCache. Combining --no-stream-memo with either tuning
+ * flag is fatal. benchSetup() calls this.
+ */
+void applyCliStreamMemo(const CliOptions &options);
 
 /** Prints the standard "# scale: ..." / "# threads: ..." preamble the
  *  benches emit before their tables. */

@@ -10,6 +10,15 @@
  * directly to the shared LLC — the synthetic SPEC profiles generate
  * L1-filtered streams because the paper's mechanisms all live at the
  * LLC (see DESIGN.md).
+ *
+ * A stream is a pure sequence: the ops produced depend only on the
+ * stream's construction parameters, never on when or in what batch
+ * sizes the consumer drains them. Both the batched driver (which
+ * buffers ops ahead of execution) and `sim::StreamCache` (which
+ * records one run's sequence and replays it into every other run
+ * with the same stream identity) rely on this; a stream whose output
+ * depended on consumption timing would break bit-identity under
+ * either.
  */
 
 #ifndef COOPSIM_CORE_OP_STREAM_HPP

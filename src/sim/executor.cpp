@@ -7,6 +7,7 @@
 #include "api/registry.hpp"
 #include "api/spec.hpp"
 #include "common/logging.hpp"
+#include "sim/stream_cache.hpp"
 #include "store/result_store.hpp"
 #include "trace/workloads.hpp"
 #include "tracefile/trace_workloads.hpp"
@@ -134,16 +135,26 @@ executeRun(const RunKey &key)
         if (tracefile::isTraceWorkload(key.name)) {
             config.stream_factory =
                 tracefile::replayFactory(key.name, key.seed, key.scale);
+        } else if (StreamCache::instance().enabled()) {
+            config.stream_factory = StreamCache::instance().factory(
+                key.seed, key.scale, num_cores);
         }
         System system(config, trace::groupProfiles(group));
         return system.run();
     }
 
     // Solo: the app owns the whole (unmanaged) LLC of the system it
-    // will later share.
+    // will later share. The stream memo keys on key.num_cores — the
+    // topology the solo's geometry came from — so the solo replays
+    // the exact buffer its group generated for slot 0 (the per-stream
+    // seed derivation makes them the same op sequence).
     SystemConfig config = runConfig(key);
     config.num_cores = 1;
     config.llc.num_cores = 1;
+    if (StreamCache::instance().enabled()) {
+        config.stream_factory = StreamCache::instance().factory(
+            key.seed, key.scale, key.num_cores);
+    }
     System system(config, {trace::specProfile(key.name)});
     return system.run();
 }
@@ -173,8 +184,10 @@ RunExecutor::instance()
     // statics are destroyed in reverse construction order, so the
     // executor's destructor — which joins workers that may still be
     // inside a run at process exit — must come first, while those
-    // tables are still alive.
+    // tables are still alive. The stream memo is constructed here for
+    // the same reason: workers replay memoized streams mid-run.
     api::warmAllRegistries();
+    StreamCache::instance();
     static RunExecutor executor(g_initial_threads);
     return executor;
 }

@@ -21,6 +21,13 @@
  * are deterministic — capped exponential plus a jitter derived from
  * (shard, attempt), never from a clock — so supervised runs are
  * reproducible end to end.
+ *
+ * The CLI forwards `--trace-cache=DIR` (and the other stream-memo
+ * flags) to every worker it spawns, so the first attempt of each
+ * shard spills its generated op streams and retried or later-shard
+ * workers warm-start from the spill instead of regenerating — a
+ * crashed worker's completed generation work survives into its
+ * retry.
  */
 
 #ifndef COOPSIM_SUPERVISE_SUPERVISOR_HPP

@@ -7,6 +7,7 @@
 #include "api/registry.hpp"
 #include "common/logging.hpp"
 #include "sim/executor.hpp"
+#include "sim/stream_cache.hpp"
 #include "sim/system.hpp"
 #include "trace/generator.hpp"
 #include "tracefile/trace_workloads.hpp"
@@ -31,6 +32,34 @@ groupKeysOf(const std::vector<sim::RunKey> &keys,
         }
     }
     return out;
+}
+
+/**
+ * The inner (generating) stream both recording passes tee from:
+ * memo-backed when the stream cache is enabled, so the generator runs
+ * once per distinct stream — pass 1's counting runs replay it for
+ * every configuration and pass 2 replays it a final time into the
+ * writer, making --record effectively single-pass — and a plain
+ * SyntheticStream under --no-stream-memo.
+ */
+std::unique_ptr<core::OpStream>
+makeInner(std::uint32_t c, const trace::AppProfile &profile,
+          const trace::StreamGeometry &geometry, std::uint64_t seed,
+          std::uint64_t run_seed, const std::string &scale,
+          std::uint32_t num_cores)
+{
+    sim::StreamCache &cache = sim::StreamCache::instance();
+    if (!cache.enabled()) {
+        return std::make_unique<trace::SyntheticStream>(profile, geometry, c,
+                                                        seed);
+    }
+    sim::StreamCache::Key key;
+    key.workload = profile.name;
+    key.slot = c;
+    key.seed = run_seed;
+    key.scale = scale;
+    key.num_cores = num_cores;
+    return cache.open(key, profile, geometry, seed);
 }
 
 } // namespace
@@ -81,14 +110,14 @@ recordSpec(const api::ExperimentSpec &spec, const std::string &dir)
             sim::SystemConfig config = sim::runConfig(key);
             std::vector<RecordingStream *> counters(num_cores, nullptr);
             config.stream_factory =
-                [&counters](std::uint32_t c,
-                            const trace::AppProfile &profile,
-                            const trace::StreamGeometry &geometry,
-                            std::uint64_t seed)
+                [&counters, &config, &spec, num_cores](
+                    std::uint32_t c, const trace::AppProfile &profile,
+                    const trace::StreamGeometry &geometry,
+                    std::uint64_t seed)
                 -> std::unique_ptr<core::OpStream> {
                 auto tee = std::make_unique<RecordingStream>(
-                    std::make_unique<trace::SyntheticStream>(
-                        profile, geometry, c, seed),
+                    makeInner(c, profile, geometry, seed, config.seed,
+                              spec.scale, num_cores),
                     nullptr);
                 counters[c] = tee.get();
                 return tee;
@@ -125,8 +154,8 @@ recordSpec(const api::ExperimentSpec &spec, const std::string &dir)
                  traceFileName(group.name, c))
                     .string();
             auto tee = std::make_unique<RecordingStream>(
-                std::make_unique<trace::SyntheticStream>(
-                    profile, geometry, c, seed),
+                makeInner(c, profile, geometry, seed, config.seed,
+                          spec.scale, num_cores),
                 std::make_unique<TraceWriter>(path, header));
             recorders[c] = tee.get();
             return tee;

@@ -185,6 +185,61 @@ inline constexpr std::size_t kDecodeSlack = 24;
 bool readTraceFile(const std::string &path, std::string &data,
                    std::size_t &size, std::string &error);
 
+/**
+ * Validates the structure and CRC of every frame in
+ * [@p pos, @p logical) in one sequential pass, accumulating the total
+ * op count into @p ops. False (with the offending frame named in
+ * @p error) on truncation or a checksum mismatch; the caller decides
+ * whether that is fatal (replay) or merely a stale cache entry to
+ * regenerate (warm start).
+ */
+bool validateFrames(const std::string &data, std::size_t pos,
+                    std::size_t logical, std::uint64_t &ops,
+                    std::string &error);
+
+/**
+ * Incremental decoder over a run of already-validated frames.
+ *
+ * The hot loop shared by TraceFileStream and the in-memory stream
+ * memo: one flags byte, a mostly-one-byte varint gap, and a masked
+ * unconditional 8-byte delta load per op. The buffer must carry
+ * kDecodeSlack readable bytes past @p logical and its frames must
+ * have passed validateFrames(); any inconsistency found here is a
+ * (should-be-unreachable) fatal naming @p label.
+ */
+class FrameDecoder
+{
+  public:
+    /**
+     * Arms the decoder on the frame at @p begin. @p label must outlive
+     * the decoder; it names the buffer in corruption fatals.
+     */
+    void reset(const char *base, std::size_t begin, std::size_t logical,
+               const std::string *label);
+
+    /**
+     * Decodes up to @p max ops into @p out, crossing frame boundaries
+     * as needed. Returns 0 only at the clean end of the buffer.
+     */
+    std::size_t decode(core::MemOp *out, std::size_t max);
+
+  private:
+    /** Arms the op cursor on the frame at pos_; false at clean end. */
+    bool enterFrame();
+
+    const char *base_ = nullptr;
+    const std::string *label_ = nullptr;
+    std::size_t logical_ = 0;
+    /** Byte offset of the next frame header. */
+    std::size_t pos_ = 0;
+    /** Op cursor inside the current frame's payload. */
+    std::size_t op_pos_ = 0;
+    std::size_t payload_end_ = 0;
+    std::uint64_t frame_left_ = 0;
+    std::uint64_t prev_addr_ = 0;
+    std::uint64_t frames_ = 0;
+};
+
 } // namespace coopsim::tracefile
 
 #endif // COOPSIM_TRACEFILE_TRACE_FORMAT_HPP

@@ -1,155 +1,35 @@
 #include "tracefile/trace_stream.hpp"
 
-#include <cstring>
-
 #include "common/logging.hpp"
-#include "store/result_store.hpp"
 
 namespace coopsim::tracefile
 {
 
 TraceFileStream::TraceFileStream(std::string path) : path_(std::move(path))
 {
+    label_ = "trace file '" + path_ + "'";
     std::string error;
     if (!readTraceFile(path_, data_, logical_size_, error))
         COOPSIM_FATAL("trace file: ", error);
-    if (!decodeHeader(data_, pos_, header_, error))
-        COOPSIM_FATAL("trace file '", path_, "': ", error);
+    std::size_t pos = 0;
+    if (!decodeHeader(data_, pos, header_, error))
+        COOPSIM_FATAL(label_, ": ", error);
 
     // Validate every frame's structure and CRC up front, in one
     // sequential pass over the freshly read file: corruption is fatal
     // at open — before any op reaches a simulation — and the hot
     // decode loop never touches a checksum again.
-    std::size_t p = pos_;
-    std::size_t frame = 0;
-    while (p < logical_size_) {
-        std::uint64_t count = 0;
-        if (!readVarint(data_, p, count) || p + 4 > logical_size_)
-            COOPSIM_FATAL("trace file '", path_,
-                          "': truncated header of frame ", frame);
-        const auto *lp =
-            reinterpret_cast<const unsigned char *>(data_.data() + p);
-        const std::uint32_t payload_bytes =
-            static_cast<std::uint32_t>(lp[0]) |
-            (static_cast<std::uint32_t>(lp[1]) << 8) |
-            (static_cast<std::uint32_t>(lp[2]) << 16) |
-            (static_cast<std::uint32_t>(lp[3]) << 24);
-        p += 4;
-        if (p + payload_bytes + 4 > logical_size_)
-            COOPSIM_FATAL("trace file '", path_,
-                          "': truncated payload of frame ", frame,
-                          " (wanted ", payload_bytes,
-                          " bytes + CRC past byte ", p, ")");
-        const std::uint32_t want =
-            store::crc32(data_.data() + p, payload_bytes);
-        const auto *cp = reinterpret_cast<const unsigned char *>(
-            data_.data() + p + payload_bytes);
-        const std::uint32_t got =
-            static_cast<std::uint32_t>(cp[0]) |
-            (static_cast<std::uint32_t>(cp[1]) << 8) |
-            (static_cast<std::uint32_t>(cp[2]) << 16) |
-            (static_cast<std::uint32_t>(cp[3]) << 24);
-        if (want != got)
-            COOPSIM_FATAL("trace file '", path_,
-                          "': CRC mismatch in frame ", frame,
-                          " (stored ", got, ", computed ", want,
-                          ") — the file is corrupt; re-record it");
-        p += payload_bytes + 4;
-        ++frame;
-    }
-}
-
-bool
-TraceFileStream::enterFrame()
-{
-    if (pos_ >= logical_size_)
-        return false;
-
-    // Structure and CRC were verified at construction; this only
-    // re-parses the two length fields to arm the op cursor.
-    std::uint64_t count = 0;
-    std::size_t p = pos_;
-    readVarint(data_, p, count);
-    const auto *lp = reinterpret_cast<const unsigned char *>(data_.data() + p);
-    const std::uint32_t payload_bytes =
-        static_cast<std::uint32_t>(lp[0]) |
-        (static_cast<std::uint32_t>(lp[1]) << 8) |
-        (static_cast<std::uint32_t>(lp[2]) << 16) |
-        (static_cast<std::uint32_t>(lp[3]) << 24);
-    p += 4;
-
-    op_pos_ = p;
-    payload_end_ = p + payload_bytes;
-    frame_left_ = count;
-    prev_addr_ = 0;
-    pos_ = payload_end_ + 4;
-    ++frames_;
-    return true;
+    std::uint64_t total_ops = 0;
+    if (!validateFrames(data_, pos, logical_size_, total_ops, error))
+        COOPSIM_FATAL(label_, ": ", error, " — the file is corrupt; "
+                      "re-record it");
+    decoder_.reset(data_.data(), pos, logical_size_, &label_);
 }
 
 std::size_t
 TraceFileStream::nextBatch(core::MemOp *out, std::size_t max)
 {
-    const char *base = data_.data();
-    std::size_t produced = 0;
-    while (produced < max) {
-        if (frame_left_ == 0) {
-            if (op_pos_ != payload_end_)
-                COOPSIM_FATAL("trace file '", path_, "': frame ", frames_ - 1,
-                              " has trailing bytes after its last op");
-            if (!enterFrame())
-                break;
-            continue;
-        }
-        // Hot decode loop: one flags byte, a mostly-one-byte varint
-        // gap, and a masked unconditional 8-byte delta load per op.
-        // readTraceFile()'s kDecodeSlack padding keeps the wide loads
-        // in bounds at the tail of the file.
-        std::size_t q = op_pos_;
-        const std::size_t payload_end = payload_end_;
-        std::uint64_t prev_addr = prev_addr_;
-        std::uint64_t left = frame_left_;
-        while (produced < max && left > 0) {
-            if (q >= payload_end)
-                COOPSIM_FATAL("trace file '", path_, "': frame ", frames_ - 1,
-                              " payload ended with ", left,
-                              " ops still owed");
-            const unsigned flags = static_cast<unsigned char>(base[q++]);
-            const std::size_t len = flags >> 2;
-            if (len > 8)
-                COOPSIM_FATAL("trace file '", path_,
-                              "': invalid op flags in frame ", frames_ - 1);
-            std::uint64_t gap = static_cast<unsigned char>(base[q++]);
-            if (gap >= 0x80) {
-                gap &= 0x7f;
-                unsigned shift = 7;
-                std::uint8_t byte;
-                do {
-                    byte = static_cast<unsigned char>(base[q++]);
-                    gap |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-                    shift += 7;
-                } while ((byte & 0x80) != 0 && shift < 70);
-            }
-            std::uint64_t z;
-            std::memcpy(&z, base + q, 8);
-            z &= kLenMask[len];
-            q += len;
-            if (q > payload_end)
-                COOPSIM_FATAL("trace file '", path_,
-                              "': op encoding overruns frame ", frames_ - 1);
-            prev_addr += static_cast<std::uint64_t>(zigzagDecode(z));
-            core::MemOp &op = out[produced++];
-            op.gap_insts = gap;
-            op.addr = prev_addr;
-            op.type = (flags & 2u) ? AccessType::Write
-                                   : AccessType::Read;
-            op.llc_level = (flags & 1u) != 0;
-            --left;
-        }
-        op_pos_ = q;
-        prev_addr_ = prev_addr;
-        frame_left_ = left;
-    }
+    const std::size_t produced = decoder_.decode(out, max);
     if (produced == 0)
         COOPSIM_FATAL("trace file '", path_, "' exhausted after ", delivered_,
                       " ops — the simulation wanted more than was recorded; "

@@ -8,9 +8,10 @@
  * generator and no intermediate frame buffer in the loop. Every
  * frame's structure and CRC are verified once at construction, so a
  * truncated or corrupt file is fatal at open with a descriptive
- * message and the decode loop never touches a checksum; exhaustion of
- * the trace before the simulation's instruction budget is equally
- * fatal rather than feeding garbage ops.
+ * message and the decode loop (the shared tracefile::FrameDecoder)
+ * never touches a checksum; exhaustion of the trace before the
+ * simulation's instruction budget is equally fatal rather than
+ * feeding garbage ops.
  */
 
 #ifndef COOPSIM_TRACEFILE_TRACE_STREAM_HPP
@@ -46,25 +47,14 @@ class TraceFileStream final : public core::OpStream
     const std::string &path() const { return path_; }
 
   private:
-    /** Arms the op cursor on the frame at pos_; false at clean EOF.
-     *  Structure and CRC were already verified at construction. */
-    bool enterFrame();
-
     std::string path_;
+    /** "trace file '<path>'", held for FrameDecoder fatals. */
+    std::string label_;
     std::string data_;
     std::size_t logical_size_ = 0;
     TraceHeader header_;
-
-    /** Byte offset of the next frame header. */
-    std::size_t pos_ = 0;
-    /** Op cursor inside the current frame's payload. */
-    std::size_t op_pos_ = 0;
-    std::size_t payload_end_ = 0;
-    std::uint64_t frame_left_ = 0;
-    std::uint64_t prev_addr_ = 0;
-
+    FrameDecoder decoder_;
     std::uint64_t delivered_ = 0;
-    std::uint64_t frames_ = 0;
 };
 
 } // namespace coopsim::tracefile
